@@ -1,0 +1,26 @@
+"""Table 5: the d-cache design-option summary."""
+
+from conftest import run_once
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, settings):
+    """The paper's bottom line: sel-DM+waypred and sel-DM+sequential give
+    the best energy-delay; sel-DM+parallel saves least; sequential's
+    performance cost is the largest."""
+    rows = run_once(benchmark, table5.run, settings)
+    print("\n" + table5.render(settings))
+    by_name = {r.technique: r for r in rows}
+    best = by_name["Sel-DM + sequential access"]
+    assert best.ed_savings_pct > by_name["Sel-DM + parallel access"].ed_savings_pct
+    assert by_name["Sel-DM + way-prediction"].ed_savings_pct > \
+        by_name["Sel-DM + parallel access"].ed_savings_pct
+    # Sequential has the worst performance loss of all options.
+    seq_loss = by_name["Sequential-access cache"].perf_loss_pct
+    assert seq_loss >= max(
+        r.perf_loss_pct for r in rows if r.technique != "Sequential-access cache"
+    ) - 0.5
+    # All options save more than 50% of d-cache energy-delay.
+    for r in rows:
+        assert r.ed_savings_pct > 50.0, r.technique

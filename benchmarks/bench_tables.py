@@ -1,0 +1,35 @@
+"""Tables 1-3: configuration echoes and the Cacti-lite energy column."""
+
+from conftest import run_once
+
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    table3_rows,
+)
+
+
+def test_table1(benchmark):
+    """Table 1: system configuration echo."""
+    text = run_once(benchmark, render_table1)
+    print("\n" + text)
+    assert "8 issues per cycle" in text
+    assert "16K, 4-way" in text
+
+
+def test_table2(benchmark):
+    """Table 2: the eleven applications."""
+    text = run_once(benchmark, render_table2)
+    print("\n" + text)
+    for name in ("gcc", "go", "li", "m88ksim", "perl", "troff", "vortex",
+                 "applu", "fpppp", "mgrid", "swim"):
+        assert name in text
+
+
+def test_table3(benchmark):
+    """Table 3: model matches the paper's relative energies closely."""
+    rows = run_once(benchmark, table3_rows)
+    print("\n" + render_table3())
+    for row in rows:
+        assert abs(row.measured - row.paper) <= 0.01 + 0.05 * row.paper, row.component

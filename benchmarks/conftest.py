@@ -1,0 +1,22 @@
+"""Bench-suite configuration.
+
+Benches regenerate the paper's tables/figures; they use small synthetic
+traces (scale with ``REPRO_SCALE``) and the on-disk result cache, so the
+second run of the suite is fast.
+"""
+
+import pytest
+
+from repro.experiments.common import settings_from_env
+
+
+@pytest.fixture(scope="session")
+def settings():
+    """Shared experiment settings (env-driven)."""
+    return settings_from_env()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """pytest-benchmark wrapper: a single timed round (simulations are
+    deterministic and expensive; statistical repetition adds nothing)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

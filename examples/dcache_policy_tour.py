@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Tour of every d-cache access policy on one application.
+
+Reproduces the paper's design-space walk (Table 5) for a single
+benchmark: parallel (baseline), sequential, PC/XOR way-prediction, the
+three selective-DM variants, and the oracle upper bound — printing
+energy-delay, slowdown, prediction accuracy, and the access mix.
+"""
+
+import sys
+
+from repro import SystemConfig, run_benchmark
+from repro.core.kinds import DCACHE_KINDS
+from repro.sim.results import performance_degradation, relative_energy_delay
+
+POLICIES = (
+    "sequential",
+    "waypred_pc",
+    "waypred_xor",
+    "seldm_parallel",
+    "seldm_waypred",
+    "seldm_sequential",
+    "oracle",
+)
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "go"
+    instructions = 40_000
+    baseline = SystemConfig()
+    base = run_benchmark(bench, baseline, instructions)
+    print(f"{bench}: baseline IPC {base.ipc:.2f}, "
+          f"miss rate {base.dcache_miss_rate * 100:.1f}%\n")
+    header = f"{'policy':18s} {'E-D':>6s} {'perf%':>7s} {'acc%':>6s}  access mix"
+    print(header)
+    print("-" * len(header))
+    for kind in POLICIES:
+        tech = run_benchmark(bench, baseline.with_dcache_policy(kind), instructions)
+        mix = "  ".join(
+            f"{k[:3]}={tech.dcache_kind_fraction(k) * 100:.0f}"
+            for k in DCACHE_KINDS
+            if tech.dcache_kind_fraction(k) > 0.005
+        )
+        print(
+            f"{kind:18s} "
+            f"{relative_energy_delay(tech, base, 'dcache'):6.3f} "
+            f"{performance_degradation(tech, base) * 100:+7.1f} "
+            f"{tech.dcache_prediction_accuracy * 100:6.1f}  {mix}"
+        )
+
+
+if __name__ == "__main__":
+    main()

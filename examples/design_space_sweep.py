@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Design-space sweep: size x associativity x latency for sel-DM+waypred.
+
+Extends the paper's Figures 7-9 into one grid, demonstrating the public
+sweep API: every point is one (baseline, technique) pair normalized
+within itself, so the numbers answer "what would this cache shape gain
+from the techniques?".
+"""
+
+from repro import SystemConfig, run_benchmark
+from repro.sim.results import performance_degradation, relative_energy_delay
+from repro.utils.statsutil import arithmetic_mean
+
+BENCHMARKS = ("gcc", "go", "mgrid", "swim")
+INSTRUCTIONS = 25_000
+
+
+def point(size_kb: int, ways: int, latency: int) -> tuple:
+    """Mean (relative E-D, perf degradation) for one cache shape."""
+    baseline = SystemConfig().with_dcache(
+        size_kb=size_kb, associativity=ways, latency=latency
+    )
+    technique = baseline.with_dcache_policy("seldm_waypred")
+    eds, perfs = [], []
+    for bench in BENCHMARKS:
+        base = run_benchmark(bench, baseline, INSTRUCTIONS)
+        tech = run_benchmark(bench, technique, INSTRUCTIONS)
+        eds.append(relative_energy_delay(tech, base, "dcache"))
+        perfs.append(performance_degradation(tech, base))
+    return arithmetic_mean(eds), arithmetic_mean(perfs)
+
+
+def main() -> None:
+    print(f"sel-DM+waypred over {', '.join(BENCHMARKS)}  (E-D | perf%)")
+    print(f"{'shape':16s} {'1-cycle':>16s} {'2-cycle':>16s}")
+    for size_kb in (16, 32):
+        for ways in (2, 4, 8):
+            cells = []
+            for latency in (1, 2):
+                ed, perf = point(size_kb, ways, latency)
+                cells.append(f"{ed:.3f} | {perf * 100:+.1f}")
+            print(f"{size_kb}K {ways}-way       {cells[0]:>16s} {cells[1]:>16s}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""I-cache way prediction across associativities (Figure 10's scenario).
+
+Shows how fetch-way prediction via BTB/SAWP/RAS scales with the number
+of ways: the more ways a parallel fetch would read, the more a correct
+single-way probe saves — while the prediction-source mix shifts between
+the SAWP (straight-line fp code) and the BTB/RAS (branchy code).
+"""
+
+from repro import SystemConfig, run_benchmark
+from repro.core.kinds import ICACHE_KINDS
+from repro.sim.results import performance_degradation, relative_energy_delay
+
+
+def main() -> None:
+    instructions = 40_000
+    for bench in ("mgrid", "go"):
+        print(f"=== {bench} ===")
+        for ways in (2, 4, 8):
+            baseline = SystemConfig().with_icache(associativity=ways)
+            technique = baseline.with_icache_policy("waypred")
+            base = run_benchmark(bench, baseline, instructions)
+            tech = run_benchmark(bench, technique, instructions)
+            mix = "  ".join(
+                f"{kind}={tech.icache_kind_fraction(kind) * 100:.0f}%"
+                for kind in ICACHE_KINDS
+            )
+            print(
+                f"  {ways}-way: E-D {relative_energy_delay(tech, base, 'icache'):.3f}"
+                f"  perf {performance_degradation(tech, base) * 100:+.2f}%"
+                f"  acc {tech.icache_prediction_accuracy * 100:.1f}%"
+            )
+            print(f"         {mix}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

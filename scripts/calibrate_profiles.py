@@ -1,0 +1,17 @@
+"""Calibration helper: measured vs paper Table-4 miss rates per profile."""
+import sys
+from repro.cache.geometry import CacheGeometry
+from repro.sim.functional import measure_miss_rate
+from repro.workload import benchmark_names, generate_trace, get_profile
+
+N = int(sys.argv[1]) if len(sys.argv) > 1 else 150_000
+dm = CacheGeometry(16 * 1024, 1, 32)
+sa = CacheGeometry(16 * 1024, 4, 32)
+print(f"{'bench':9s} {'DM meas':>8s} {'DM paper':>9s} {'SA meas':>8s} {'SA paper':>9s}")
+for name in benchmark_names():
+    p = get_profile(name)
+    tr = generate_trace(name, N)
+    rdm = measure_miss_rate(tr, dm)
+    rsa = measure_miss_rate(tr, sa)
+    print(f"{name:9s} {rdm.miss_rate*100:8.1f} {p.paper_dm_miss_pct:9.1f} "
+          f"{rsa.miss_rate*100:8.1f} {p.paper_sa4_miss_pct:9.1f}")

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (as in the offline evaluation image).
+"""
+
+from setuptools import setup
+
+setup()

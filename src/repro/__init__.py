@@ -1,0 +1,56 @@
+"""repro: reproduction of "Reducing Set-Associative Cache Energy via
+Way-Prediction and Selective Direct-Mapping" (Powell, Agarwal,
+Vijaykumar, Falsafi, Roy — MICRO 2001).
+
+Quick start::
+
+    from repro import SystemConfig, run_benchmark
+    from repro.sim.results import relative_energy_delay
+
+    baseline = SystemConfig()                                  # Table 1
+    technique = baseline.with_dcache_policy("seldm_waypred")   # Sel-DM+WP
+    base = run_benchmark("gcc", baseline, 50_000)
+    tech = run_benchmark("gcc", technique, 50_000)
+    print(relative_energy_delay(tech, base, "dcache"))
+
+Subpackages:
+
+* ``repro.core``       — the paper's contribution: access policies,
+  selective direct-mapping, i-cache way prediction.
+* ``repro.cache``      — set-associative array model, L2, memory.
+* ``repro.energy``     — Cacti-lite and Wattch-lite energy models.
+* ``repro.predictors`` — branch predictors, BTB, RAS, prediction tables.
+* ``repro.workload``   — synthetic SPEC-like trace generation.
+* ``repro.cpu``        — trace-driven out-of-order core.
+* ``repro.sim``        — configs, simulator, cached runner.
+* ``repro.experiments``— one module per paper table/figure.
+"""
+
+from repro.sim.config import CacheLevelConfig, SystemConfig, paper_baseline
+from repro.sim.results import (
+    SimResult,
+    performance_degradation,
+    relative_energy,
+    relative_energy_delay,
+)
+from repro.sim.runner import run_benchmark
+from repro.sim.simulator import Simulator
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import benchmark_names, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheLevelConfig",
+    "SimResult",
+    "Simulator",
+    "SystemConfig",
+    "benchmark_names",
+    "generate_trace",
+    "get_profile",
+    "paper_baseline",
+    "performance_degradation",
+    "relative_energy",
+    "relative_energy_delay",
+    "run_benchmark",
+]

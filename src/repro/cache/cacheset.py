@@ -1,0 +1,72 @@
+"""One cache set: N ways plus replacement state."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement import ReplacementPolicy
+
+
+class CacheSet:
+    """A set of ``associativity`` blocks sharing one replacement policy.
+
+    The set exposes primitive operations (find, choose victim, install);
+    hit/miss accounting and probe-energy accounting happen above this
+    layer.
+    """
+
+    __slots__ = ("ways", "replacement")
+
+    def __init__(self, associativity: int, replacement: ReplacementPolicy) -> None:
+        self.ways: List[CacheBlock] = [CacheBlock() for _ in range(associativity)]
+        self.replacement = replacement
+
+    def find(self, block_addr: int) -> Optional[int]:
+        """Return the way holding ``block_addr`` or None (no state change)."""
+        for way, block in enumerate(self.ways):
+            if block.valid and block.block_addr == block_addr:
+                return way
+        return None
+
+    def invalid_way(self) -> Optional[int]:
+        """Return the lowest invalid way, or None when the set is full."""
+        for way, block in enumerate(self.ways):
+            if not block.valid:
+                return way
+        return None
+
+    def choose_victim(self) -> int:
+        """Return the way a fill should use: an invalid way, else the
+        replacement policy's victim."""
+        way = self.invalid_way()
+        if way is not None:
+            return way
+        return self.replacement.victim()
+
+    def touch(self, way: int) -> None:
+        """Record a reference to ``way`` for replacement."""
+        self.replacement.touch(way)
+
+    def install(self, way: int, block_addr: int, dm_placed: bool) -> Optional[CacheBlock]:
+        """Install ``block_addr`` into ``way``.
+
+        Returns:
+            A copy-like reference to the evicted block's prior state as a
+            ``CacheBlock`` snapshot, or None when the way was invalid.
+        """
+        block = self.ways[way]
+        evicted: Optional[CacheBlock] = None
+        if block.valid:
+            evicted = CacheBlock()
+            evicted.valid = True
+            evicted.block_addr = block.block_addr
+            evicted.dirty = block.dirty
+            evicted.dm_placed = block.dm_placed
+        block.load(block_addr, dm_placed=dm_placed)
+        self.replacement.fill(way)
+        return evicted
+
+    def valid_count(self) -> int:
+        """Return the number of valid ways."""
+        return sum(1 for block in self.ways if block.valid)

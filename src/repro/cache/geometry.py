@@ -1,0 +1,74 @@
+"""Cache geometry: sizes, associativity, and address field decomposition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.bitops import AddressFields, is_power_of_two, log2_exact
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Physical organization of one cache level.
+
+    The paper's base configuration (Table 1) uses 16KB, 4-way L1 caches;
+    the associativity study (Figures 8 and 10) varies ``associativity``
+    over {2, 4, 8}, and the size study (Figure 7) uses 32KB.
+
+    Attributes:
+        size_bytes: total data capacity.
+        associativity: number of ways; 1 gives a direct-mapped cache.
+        block_bytes: line size (the paper's Cacti runs use 32B).
+        address_bits: modeled physical address width (tag width derives
+            from this; used by the energy model).
+    """
+
+    size_bytes: int
+    associativity: int
+    block_bytes: int = 32
+    address_bits: int = 32
+    fields: AddressFields = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("size_bytes", self.size_bytes),
+            ("associativity", self.associativity),
+            ("block_bytes", self.block_bytes),
+        ):
+            if not is_power_of_two(value):
+                raise ValueError(f"{label} must be a power of two, got {value}")
+        if self.size_bytes < self.block_bytes * self.associativity:
+            raise ValueError(
+                "cache must hold at least one set: "
+                f"size={self.size_bytes} assoc={self.associativity} "
+                f"block={self.block_bytes}"
+            )
+        object.__setattr__(
+            self,
+            "fields",
+            AddressFields(
+                offset_bits=log2_exact(self.block_bytes),
+                index_bits=log2_exact(self.num_sets),
+                way_bits=log2_exact(self.associativity),
+            ),
+        )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.block_bytes * self.associativity)
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of blocks."""
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def tag_bits(self) -> int:
+        """Width of the stored tag in bits."""
+        return self.address_bits - self.fields.index_bits - self.fields.offset_bits
+
+    def describe(self) -> str:
+        """Human-readable one-line description, e.g. ``16K 4-way 32B``."""
+        kib = self.size_bytes // 1024
+        return f"{kib}K {self.associativity}-way {self.block_bytes}B"

@@ -1,0 +1,133 @@
+"""The backing memory hierarchy: unified L2 and main memory.
+
+The paper's Table 1 system: 1MB 8-way L2 with 12-cycle latency, and main
+memory at 80 cycles plus 4 cycles per 8 bytes transferred.  L2 accesses
+are conventional (the energy techniques apply only to L1), so the L2 is a
+plain set-associative cache with fixed latency and per-access energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.sram import SetAssociativeCache
+from repro.cache.stats import CacheStats
+
+
+@dataclass(frozen=True)
+class MainMemory:
+    """Flat DRAM latency model: ``base + per_chunk * ceil(bytes/chunk)``."""
+
+    base_latency: int = 80
+    cycles_per_chunk: int = 4
+    chunk_bytes: int = 8
+
+    def access_latency(self, num_bytes: int) -> int:
+        """Cycles to transfer ``num_bytes`` from memory."""
+        chunks = (num_bytes + self.chunk_bytes - 1) // self.chunk_bytes
+        return self.base_latency + self.cycles_per_chunk * chunks
+
+
+@dataclass(frozen=True)
+class L2AccessResult:
+    """Latency and hit/miss outcome of an L2 access."""
+
+    hit: bool
+    latency: int
+
+
+class L2Cache:
+    """Unified second-level cache with conventional parallel access.
+
+    Writes are write-back/write-allocate.  Writebacks from L1 are
+    accounted for energy but assumed buffered (no latency on the load
+    path), matching the usual simulator treatment.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        latency: int = 12,
+        memory: Optional[MainMemory] = None,
+        replacement: str = "lru",
+    ) -> None:
+        self.geometry = geometry
+        self.latency = latency
+        self.memory = memory if memory is not None else MainMemory()
+        self.array = SetAssociativeCache(geometry, replacement=replacement, name="L2")
+        self.stats = CacheStats()
+
+    def access(self, addr: int, is_store: bool = False) -> L2AccessResult:
+        """Access the L2 for a block, filling from memory on a miss."""
+        if is_store:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+        self.stats.tag_probes += 1
+        way = self.array.probe(addr)
+        if way is not None:
+            self.array.touch(addr, way)
+            if is_store:
+                self.stats.store_hits += 1
+                self.array.mark_dirty(addr)
+                self.stats.data_way_writes += 1
+            else:
+                self.stats.load_hits += 1
+                self.stats.data_way_reads += 1
+            return L2AccessResult(hit=True, latency=self.latency)
+        # Miss: fetch the block from memory.
+        fill = self.array.fill(addr)
+        self.stats.fills += 1
+        self.stats.data_way_writes += 1
+        if fill.eviction is not None:
+            self.stats.evictions += 1
+            if fill.eviction.dirty:
+                self.stats.writebacks += 1
+        if is_store:
+            self.array.mark_dirty(addr)
+        latency = self.latency + self.memory.access_latency(self.geometry.block_bytes)
+        return L2AccessResult(hit=False, latency=latency)
+
+    def writeback(self, addr: int) -> None:
+        """Absorb a dirty writeback from L1 (energy-only event)."""
+        self.stats.stores += 1
+        self.stats.tag_probes += 1
+        way = self.array.probe(addr)
+        if way is not None:
+            self.stats.store_hits += 1
+            self.array.touch(addr, way)
+            self.array.mark_dirty(addr)
+        else:
+            fill = self.array.fill(addr)
+            self.stats.fills += 1
+            if fill.eviction is not None:
+                self.stats.evictions += 1
+                if fill.eviction.dirty:
+                    self.stats.writebacks += 1
+            self.array.mark_dirty(addr)
+        self.stats.data_way_writes += 1
+
+
+class MemoryHierarchy:
+    """Shared L2 + memory used below both L1 caches.
+
+    A single L2 is shared by instruction and data streams, as in the
+    paper's unified 1MB L2.
+    """
+
+    def __init__(self, l2: L2Cache) -> None:
+        self.l2 = l2
+
+    def fetch_block(self, addr: int) -> int:
+        """Fetch a block for an L1 miss; returns added latency in cycles."""
+        return self.l2.access(addr, is_store=False).latency
+
+    def store_block(self, addr: int) -> int:
+        """Handle an L1 store miss (write-allocate): fetch for ownership."""
+        return self.l2.access(addr, is_store=True).latency
+
+    def absorb_writeback(self, addr: int) -> None:
+        """Accept a dirty L1 victim."""
+        self.l2.writeback(addr)

@@ -1,0 +1,170 @@
+"""The set-associative tag/data array model.
+
+:class:`SetAssociativeCache` is a *functional* model: it answers "which
+way holds this address" and manages fills/evictions.  It is shared by the
+L1 engines in :mod:`repro.core` (which add probe scheduling and energy)
+and by the L2 model in :mod:`repro.cache.hierarchy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.cacheset import CacheSet
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import make_replacement
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """What a fill displaced.
+
+    Attributes:
+        block_addr: block-aligned address of the evicted block.
+        dirty: whether a write-back to the next level is required.
+        dm_placed: whether the victim had been placed in its
+            direct-mapping way (selective-DM bookkeeping).
+    """
+
+    block_addr: int
+    dirty: bool
+    dm_placed: bool
+
+
+@dataclass(frozen=True)
+class FillResult:
+    """Outcome of installing a block.
+
+    Attributes:
+        way: way the block was installed into.
+        eviction: the displaced block, if any.
+    """
+
+    way: int
+    eviction: Optional[EvictionRecord]
+
+
+class SetAssociativeCache:
+    """Functional set-associative cache array.
+
+    All addresses passed in are full byte addresses; the geometry's field
+    decomposition is applied internally.
+    """
+
+    def __init__(self, geometry: CacheGeometry, replacement: str = "lru", name: str = "") -> None:
+        self.geometry = geometry
+        self.fields = geometry.fields
+        self.name = name or geometry.describe()
+        self.replacement_name = replacement
+        self.sets: List[CacheSet] = [
+            CacheSet(geometry.associativity, make_replacement(replacement, geometry.associativity))
+            for _ in range(geometry.num_sets)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def probe(self, addr: int) -> Optional[int]:
+        """Tag-array lookup: return the matching way or None.
+
+        Does not update replacement state; callers decide when a probe
+        counts as a use (e.g. the tag check of a selective-DM access that
+        will be retried must still mark the block referenced exactly once).
+        """
+        index = self.fields.index(addr)
+        return self.sets[index].find(self.fields.block_address(addr))
+
+    def touch(self, addr: int, way: int) -> None:
+        """Mark ``way`` of the set containing ``addr`` as referenced."""
+        self.sets[self.fields.index(addr)].touch(way)
+
+    def contains(self, addr: int) -> bool:
+        """Return True when ``addr``'s block is resident."""
+        return self.probe(addr) is not None
+
+    def way_of(self, addr: int) -> Optional[int]:
+        """Alias of :meth:`probe` used where intent is introspection."""
+        return self.probe(addr)
+
+    def block_at(self, addr: int):
+        """Return the resident :class:`CacheBlock` for ``addr`` or None."""
+        index = self.fields.index(addr)
+        way = self.sets[index].find(self.fields.block_address(addr))
+        if way is None:
+            return None
+        return self.sets[index].ways[way]
+
+    # ------------------------------------------------------------------ #
+    # Fill / modify
+    # ------------------------------------------------------------------ #
+
+    def fill(self, addr: int, way: Optional[int] = None, dm_placed: bool = False) -> FillResult:
+        """Install ``addr``'s block.
+
+        Args:
+            addr: byte address being filled.
+            way: forced placement way (selective-DM's direct-mapping
+                placement); when None the set picks an invalid way or the
+                replacement victim.
+            dm_placed: recorded on the block for later mapping-predictor
+                training.
+
+        Returns:
+            The chosen way and any eviction.
+        """
+        index = self.fields.index(addr)
+        cache_set = self.sets[index]
+        block_addr = self.fields.block_address(addr)
+        existing = cache_set.find(block_addr)
+        if existing is not None:
+            # Refill of a resident block (e.g. placement migration):
+            # re-install in place, possibly updating dm_placed.
+            cache_set.ways[existing].dm_placed = dm_placed
+            cache_set.touch(existing)
+            return FillResult(way=existing, eviction=None)
+        if way is None:
+            way = cache_set.choose_victim()
+        evicted_block = cache_set.install(way, block_addr, dm_placed)
+        eviction = None
+        if evicted_block is not None:
+            eviction = EvictionRecord(
+                block_addr=evicted_block.block_addr,
+                dirty=evicted_block.dirty,
+                dm_placed=evicted_block.dm_placed,
+            )
+        return FillResult(way=way, eviction=eviction)
+
+    def mark_dirty(self, addr: int) -> None:
+        """Set the dirty bit of the resident block holding ``addr``.
+
+        Raises:
+            KeyError: if the block is not resident (stores only write
+            after a hit or fill).
+        """
+        block = self.block_at(addr)
+        if block is None:
+            raise KeyError(f"mark_dirty on non-resident address {addr:#x}")
+        block.dirty = True
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop ``addr``'s block if resident; returns True when dropped."""
+        index = self.fields.index(addr)
+        cache_set = self.sets[index]
+        way = cache_set.find(self.fields.block_address(addr))
+        if way is None:
+            return False
+        cache_set.ways[way].reset()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def resident_blocks(self) -> int:
+        """Return the number of valid blocks (for tests/examples)."""
+        return sum(s.valid_count() for s in self.sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SetAssociativeCache({self.name}, {self.replacement_name})"

@@ -1,0 +1,51 @@
+"""Command-line entry point: ``repro-experiment <id> [...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import get_experiment, list_experiments
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run one or more experiments and print their reports."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Regenerate tables/figures from 'Reducing Set-Associative Cache "
+            "Energy via Way-Prediction and Selective Direct-Mapping' "
+            "(Powell et al., MICRO 2001)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids (default: all). Valid: {', '.join(list_experiments())}",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    ids = args.experiments or list_experiments()
+    for experiment_id in ids:
+        try:
+            renderer = get_experiment(experiment_id)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        started = time.time()
+        print(renderer())
+        print(f"[{experiment_id} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Policy construction from specs."""
+
+from __future__ import annotations
+
+from repro.core.oracle import OraclePolicy
+from repro.core.parallel import ParallelPolicy
+from repro.core.policy import DCachePolicy
+from repro.core.selective_dm import SelectiveDmPolicy
+from repro.core.sequential import SequentialPolicy
+from repro.core.spec import DCachePolicySpec
+from repro.core.waypred import PcWayPredictionPolicy, XorWayPredictionPolicy
+
+
+def build_dcache_policy(spec: DCachePolicySpec) -> DCachePolicy:
+    """Instantiate the d-cache policy described by ``spec``."""
+    if spec.kind == "parallel":
+        return ParallelPolicy()
+    if spec.kind == "sequential":
+        return SequentialPolicy()
+    if spec.kind == "waypred_pc":
+        return PcWayPredictionPolicy(spec.table_entries)
+    if spec.kind == "waypred_xor":
+        return XorWayPredictionPolicy(spec.table_entries)
+    if spec.kind == "oracle":
+        return OraclePolicy()
+    if spec.is_selective_dm:
+        handler = spec.kind.split("_", 1)[1]
+        return SelectiveDmPolicy(
+            conflict_handler=handler,
+            table_entries=spec.table_entries,
+            victim_entries=spec.victim_entries,
+            conflict_threshold=spec.conflict_threshold,
+        )
+    raise AssertionError(f"unhandled policy kind {spec.kind!r}")

@@ -1,0 +1,194 @@
+"""I-cache way prediction (Figure 3, section 2.3).
+
+Way prediction for instruction fetch piggybacks on fetch-address
+prediction, so it is both timely (the way arrives with the predicted
+next PC, a full cycle early) and accurate:
+
+* predicted-taken branches: the **BTB** entry carries a way field
+  (next-line-set-prediction);
+* returns: the **RAS** carries the return address's way;
+* sequential fetches and not-taken branches: the **SAWP** (Sequential
+  Address Way-Predictor) table, indexed by the current fetch PC —
+  needed because "successive PCs may not fall within the same way";
+* branch-misprediction restarts and structure misses: no prediction;
+  the fetch defaults to parallel access.
+
+:class:`IFetchWayPredictor` owns the SAWP; the BTB and RAS way fields
+live in their structures (:mod:`repro.predictors`).  The fetch unit
+(:mod:`repro.cpu.fetch`) decides which source supplies each prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cache.sram import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.core.kinds import (
+    KIND_BTB_CORRECT,
+    KIND_MISPREDICTED,
+    KIND_NO_PREDICTION,
+    KIND_PARALLEL,
+    KIND_SAWP_CORRECT,
+)
+from repro.energy.cactilite import CacheEnergyModel
+from repro.energy.ledger import EnergyLedger
+from repro.energy.tables import PredictionStructureEnergy
+from repro.predictors.table import WayPredictionTable
+
+#: Prediction-source labels passed by the fetch unit.
+SOURCE_SAWP = "sawp"
+SOURCE_BTB = "btb"
+SOURCE_RAS = "ras"
+SOURCE_NONE = "none"
+
+_CORRECT_KIND = {
+    SOURCE_SAWP: KIND_SAWP_CORRECT,
+    SOURCE_BTB: KIND_BTB_CORRECT,
+    SOURCE_RAS: KIND_BTB_CORRECT,  # the paper groups BTB and RAS together
+}
+
+
+class IFetchWayPredictor:
+    """The SAWP table: current fetch PC -> next sequential fetch's way."""
+
+    def __init__(self, entries: int = 1024) -> None:
+        self.sawp = WayPredictionTable(entries)
+
+    def predict_sequential(self, current_block_pc: int) -> Optional[int]:
+        """Way prediction for a sequential/not-taken transition."""
+        return self.sawp.predict(current_block_pc >> 5)
+
+    def train_sequential(self, current_block_pc: int, next_way: int) -> None:
+        """Record the way the next sequential block resolved to."""
+        self.sawp.train(current_block_pc >> 5, next_way)
+
+
+@dataclass(frozen=True)
+class FetchOutcome:
+    """Result of one i-cache block fetch."""
+
+    hit: bool
+    latency: int
+    kind: str
+    way: int
+
+
+class ICacheEngine:
+    """L1 instruction cache with optional way prediction.
+
+    ``way_predict=False`` models the conventional parallel-access
+    baseline; every fetch probes all ways.
+    """
+
+    ENERGY_COMPONENT = "l1_icache"
+    PREDICTION_COMPONENT = "prediction_icache"
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        hierarchy: MemoryHierarchy,
+        energy: CacheEnergyModel,
+        pred_energy: PredictionStructureEnergy,
+        ledger: EnergyLedger,
+        base_latency: int = 1,
+        way_predict: bool = True,
+        replacement: str = "lru",
+    ) -> None:
+        self.geometry = geometry
+        self.fields = geometry.fields
+        self.hierarchy = hierarchy
+        self.energy = energy
+        self.pred_energy = pred_energy
+        self.ledger = ledger
+        self.base_latency = base_latency
+        self.way_predict = way_predict
+        self.array = SetAssociativeCache(geometry, replacement=replacement, name="L1I")
+        self.stats = CacheStats()
+
+    def _charge(self, amount: float) -> None:
+        self.ledger.charge(self.ENERGY_COMPONENT, amount)
+
+    def fetch(self, pc: int, predicted_way: Optional[int], source: str) -> FetchOutcome:
+        """Fetch the block containing ``pc``.
+
+        Args:
+            predicted_way: way supplied by the fetch unit's structures,
+                or None (defaults to parallel access).
+            source: one of the ``SOURCE_*`` labels (for the Figure 10
+                breakdown and way-field energy accounting).
+        """
+        self.stats.loads += 1
+        self.stats.tag_probes += 1
+        resident_way = self.array.probe(pc)
+        hit = resident_way is not None
+        n = self.geometry.associativity
+
+        if not self.way_predict:
+            predicted_way = None
+            source = SOURCE_NONE
+
+        if predicted_way is None:
+            # Conventional parallel access.
+            self._charge(self.energy.parallel_read())
+            self.stats.data_way_reads += n
+            latency = self.base_latency
+            kind = KIND_NO_PREDICTION if self.way_predict else KIND_PARALLEL
+        else:
+            # Probe only the predicted way, in parallel with the tags.
+            self._charge(self.energy.one_way_read())
+            self.stats.data_way_reads += 1
+            if source in (SOURCE_BTB, SOURCE_RAS):
+                self.ledger.charge(
+                    self.PREDICTION_COMPONENT, self.pred_energy.way_field_access
+                )
+            else:
+                self.ledger.charge(
+                    self.PREDICTION_COMPONENT, self.pred_energy.table_access
+                )
+            if hit:
+                self.stats.predictions += 1
+                if predicted_way == resident_way:
+                    self.stats.correct_predictions += 1
+                    latency = self.base_latency
+                    kind = _CORRECT_KIND[source]
+                else:
+                    # Second probe of the matching way.
+                    self._charge(self.energy.extra_probe())
+                    self.stats.data_way_reads += 1
+                    self.stats.second_probes += 1
+                    self.stats.extra_cycles += 1
+                    latency = self.base_latency + 1
+                    kind = KIND_MISPREDICTED
+            else:
+                latency = self.base_latency
+                kind = KIND_NO_PREDICTION
+
+        if hit:
+            self.stats.load_hits += 1
+            self.array.touch(pc, resident_way)
+            way = resident_way
+        else:
+            latency += self._miss_path(pc)
+            way = self.array.probe(pc)
+            assert way is not None
+
+        self.stats.count_kind(kind)
+        return FetchOutcome(hit=hit, latency=latency, kind=kind, way=way)
+
+    def way_of(self, pc: int) -> Optional[int]:
+        """Quiet tag inspection (no energy): used when pushing RAS ways."""
+        return self.array.probe(pc)
+
+    def _miss_path(self, pc: int) -> int:
+        added = self.hierarchy.fetch_block(pc)
+        fill = self.array.fill(pc)
+        self.stats.fills += 1
+        self._charge(self.energy.fill_write())
+        self.stats.data_way_writes += 1
+        if fill.eviction is not None:
+            self.stats.evictions += 1
+        return added

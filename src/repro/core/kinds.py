@@ -1,0 +1,33 @@
+"""Access-kind labels used in the paper's breakdown plots.
+
+D-cache kinds (bottom graphs of Figures 6-8): how a read was performed.
+I-cache kinds (bottom graph of Figure 10): which structure supplied the
+way prediction.
+"""
+
+KIND_DIRECT_MAPPED = "direct_mapped"  #: selective-DM probe of the DM way, correct
+KIND_PARALLEL = "parallel"  #: all ways probed
+KIND_WAY_PREDICTED = "way_predicted"  #: predicted single-way probe, correct
+KIND_SEQUENTIAL = "sequential"  #: tag-then-data single-way probe
+KIND_MISPREDICTED = "mispredicted"  #: wrong single-way probe; second probe needed
+
+KIND_SAWP_CORRECT = "sawp_correct"  #: i-cache way from the SAWP table, correct
+KIND_BTB_CORRECT = "btb_correct"  #: i-cache way from BTB or RAS, correct
+KIND_NO_PREDICTION = "no_prediction"  #: structures missed; parallel access
+
+#: D-cache kinds in plotting order.
+DCACHE_KINDS = (
+    KIND_DIRECT_MAPPED,
+    KIND_PARALLEL,
+    KIND_WAY_PREDICTED,
+    KIND_SEQUENTIAL,
+    KIND_MISPREDICTED,
+)
+
+#: I-cache kinds in plotting order.
+ICACHE_KINDS = (
+    KIND_SAWP_CORRECT,
+    KIND_BTB_CORRECT,
+    KIND_NO_PREDICTION,
+    KIND_MISPREDICTED,
+)

@@ -1,0 +1,74 @@
+"""Hashable policy specifications used by system configs and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: D-cache policy kinds.
+DCACHE_KINDS = (
+    "parallel",
+    "sequential",
+    "waypred_pc",
+    "waypred_xor",
+    "oracle",
+    "seldm_parallel",
+    "seldm_waypred",
+    "seldm_sequential",
+)
+
+#: I-cache policy kinds.
+ICACHE_KINDS = ("parallel", "waypred")
+
+
+@dataclass(frozen=True)
+class DCachePolicySpec:
+    """Which d-cache access policy to build, with structure sizes.
+
+    The defaults are the paper's: 1024-entry prediction tables and a
+    16-entry victim list (section 3).
+    """
+
+    kind: str = "parallel"
+    table_entries: int = 1024
+    victim_entries: int = 16
+    conflict_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in DCACHE_KINDS:
+            raise ValueError(f"unknown d-cache policy {self.kind!r}; valid: {DCACHE_KINDS}")
+
+    @property
+    def is_selective_dm(self) -> bool:
+        """True for the selective-DM family."""
+        return self.kind.startswith("seldm_")
+
+    @property
+    def label(self) -> str:
+        """Short display label matching the paper's figure legends."""
+        return {
+            "parallel": "Parallel",
+            "sequential": "Sequential",
+            "waypred_pc": "PC-based way-pred",
+            "waypred_xor": "XOR-based way-pred",
+            "oracle": "Perfect way-pred",
+            "seldm_parallel": "Sel-DM + Parallel",
+            "seldm_waypred": "Sel-DM + Way-pred",
+            "seldm_sequential": "Sel-DM + Sequential",
+        }[self.kind]
+
+
+@dataclass(frozen=True)
+class ICachePolicySpec:
+    """Which i-cache access scheme to build."""
+
+    kind: str = "parallel"
+    sawp_entries: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.kind not in ICACHE_KINDS:
+            raise ValueError(f"unknown i-cache policy {self.kind!r}; valid: {ICACHE_KINDS}")
+
+    @property
+    def way_predict(self) -> bool:
+        """True when fetch should use BTB/SAWP/RAS way prediction."""
+        return self.kind == "waypred"

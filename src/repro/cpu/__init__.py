@@ -1,0 +1,17 @@
+"""Out-of-order core timing model.
+
+A cycle-level, trace-driven model of the paper's simulated processor
+(Table 1): 8-wide issue, 64-entry reorder buffer, 32-entry load/store
+queue, 2-level hybrid branch prediction, 2-ported L1 d-cache.  Branch
+mispredictions stall fetch until the branch resolves (the standard
+trace-driven approximation of wrong-path execution); i-cache way
+mispredictions and d-cache probe mispredictions insert the paper's
+one-cycle second-probe penalties.
+"""
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.fetch import FetchUnit
+from repro.cpu.ooo import OutOfOrderCore
+from repro.cpu.stats import CoreStats
+
+__all__ = ["CoreConfig", "CoreStats", "FetchUnit", "OutOfOrderCore"]

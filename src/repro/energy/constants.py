@@ -1,0 +1,94 @@
+"""Technology constants for the analytical energy/timing model.
+
+Calibration
+-----------
+
+The paper's only energy inputs are the *relative* Cacti numbers of
+Table 3 for a 16K 4-way 32B cache at 0.25 um:
+
+==========================================================  ========
+Energy component                                            Relative
+==========================================================  ========
+Parallel access cache read (4 ways read)                    1.00
+Sequential / way-predicted / direct-mapped read (1 way)     0.21
+Cache write                                                 0.24
+Tag array energy (included in all rows above)               0.06
+1024-entry x 4-bit prediction table read/write              0.007
+==========================================================  ========
+
+The constants below were solved so that :class:`repro.energy.cactilite.CactiLite`
+reproduces that column exactly for the reference geometry, while every
+term keeps its physical scaling (bitline energy proportional to rows x
+columns activated, sense/wordline proportional to columns, output network
+proportional to ways driven, address decode/routing proportional to
+sqrt(capacity)).  Size and associativity variation then follow the
+physics terms, which is what Figures 7 and 8 exercise.
+
+Derivation for the reference geometry (rows = 128 sets, data columns =
+256 bits per way, tag columns = 22 bits per way, 64-bit output word):
+
+* address decode/route  = ``C_ADDR * sqrt(16384)``          = 0.010
+* tag array (4 ways)    = 4 x 0.015                         = 0.060
+* one data way read     = ``C_BL_R*128*256 + (C_SA+C_WL)*256`` = 0.130
+* output, 1 way driven  = ``C_OUT * 64``                     = 0.010
+* output, 4 ways driven = ``C_OUT*64 + C_MUX*3*64``          = 0.410
+* one data way write    = ``C_BL_W*128*64 + C_WL*64``        = 0.170
+
+giving parallel read 0.010+0.060+0.520+0.410 = 1.000, one-way read
+0.010+0.060+0.130+0.010 = 0.210, and write 0.010+0.060+0.170 = 0.240.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Conversion to physical units: Cacti-era estimates put a parallel read
+#: of a 16K 4-way cache at roughly 1.2 nJ in a 0.25 um process.
+NANOJOULE_PER_REU = 1.2
+
+
+@dataclass(frozen=True)
+class TechnologyConstants:
+    """Per-component energy and timing coefficients.
+
+    Energy coefficients are in REU; see module docstring for the
+    calibration.  Timing coefficients express Cacti-like access time as
+    ``T_FIXED + T_SQRT * sqrt(bytes)`` in arbitrary units, normalized so
+    the reference cache's access time is ~2.4 ns.
+    """
+
+    # --- energy: SRAM core ---
+    c_bitline_read: float = 3.0e-6  # per cell on an activated read column
+    c_bitline_write: float = 2.0596e-5  # per cell, full-swing write
+    c_wordline: float = 2.0e-5  # per activated column
+    c_senseamp: float = 1.0383e-4  # per sensed column
+    c_tag_compare: float = 1.9397e-4  # per tag column (comparators)
+    # --- energy: periphery ---
+    c_addr_route: float = 7.8125e-5  # x sqrt(capacity bytes)
+    c_output_drive: float = 1.5625e-4  # per output bit, one way driven
+    c_way_mux: float = 2.0833e-3  # per output bit per *additional* way driven
+    # --- energy: small prediction structures ---
+    c_table_fixed: float = 2.0e-3  # decode + periphery of a small table
+    c_table_bit: float = 1.22e-6  # per stored bit touched by the access
+    c_cam_factor: float = 2.0  # CAM search costs ~2x an SRAM read per bit
+    # --- status bits stored next to each tag ---
+    tag_status_bits: int = 2
+    #: Bitline segmentation: arrays taller than this are split into
+    #: subarrays and only the addressed subarray's bitlines swing (the
+    #: paper's "energy-efficient baseline cache ... activates only the
+    #: subarrays containing the addressed set").  Every L1 geometry in
+    #: the paper's sweep stays below the cap; it matters for the L2.
+    max_bitline_rows: int = 512
+    #: Output word width (bits) delivered by a cache read.
+    output_bits: int = 64
+    #: Columns driven by a store (one 64-bit word).
+    store_write_bits: int = 64
+    # --- timing model ---
+    t_fixed: float = 74.7  # wire-independent component
+    t_sqrt: float = 1.0  # x sqrt(capacity bytes)
+    t_ns_per_unit: float = 0.011840  # normalizes 16K 4-way to ~2.4 ns
+    t_mux_units: float = 8.0  # data-select mux delay
+
+
+#: The paper's process node.
+TECH_0_25_UM = TechnologyConstants()

@@ -1,0 +1,50 @@
+"""Named energy accumulation.
+
+Every simulated component charges energy to an :class:`EnergyLedger`
+under a component name; experiments then slice totals by component to
+form the paper's relative-energy plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+
+class EnergyLedger:
+    """A dictionary of component -> accumulated energy (REU)."""
+
+    def __init__(self) -> None:
+        self._components: Dict[str, float] = {}
+
+    def charge(self, component: str, energy: float) -> None:
+        """Add ``energy`` to ``component``.
+
+        Negative charges are rejected: energy only accumulates.
+        """
+        if energy < 0:
+            raise ValueError(f"negative energy charge for {component!r}: {energy}")
+        self._components[component] = self._components.get(component, 0.0) + energy
+
+    def get(self, component: str) -> float:
+        """Return the energy charged to ``component`` (0.0 if none)."""
+        return self._components.get(component, 0.0)
+
+    def total(self, components: Iterable[str] = ()) -> float:
+        """Total energy, optionally restricted to ``components``."""
+        names = list(components)
+        if not names:
+            return sum(self._components.values())
+        return sum(self._components.get(name, 0.0) for name in names)
+
+    def as_dict(self) -> Mapping[str, float]:
+        """Return a copy of the component map."""
+        return dict(self._components)
+
+    def merge(self, other: "EnergyLedger") -> None:
+        """Accumulate another ledger into this one."""
+        for component, energy in other.as_dict().items():
+            self.charge(component, energy)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v:.3f}" for k, v in sorted(self._components.items()))
+        return f"EnergyLedger({parts})"

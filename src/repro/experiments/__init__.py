@@ -1,0 +1,25 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment returns a list of result rows (plain dataclasses) and
+can render itself as the ASCII analogue of the paper's table or figure.
+The benches under ``benchmarks/`` call these and assert the paper's
+qualitative claims; ``repro-experiment <id>`` runs them from the CLI.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_INSTRUCTIONS,
+    ExperimentSettings,
+    benchmark_list,
+    settings_from_env,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = [
+    "DEFAULT_INSTRUCTIONS",
+    "EXPERIMENTS",
+    "ExperimentSettings",
+    "benchmark_list",
+    "get_experiment",
+    "list_experiments",
+    "settings_from_env",
+]

@@ -1,0 +1,120 @@
+"""Shared experiment plumbing: settings, row types, and ASCII rendering."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.sim.runner import run_benchmark
+from repro.utils.statsutil import arithmetic_mean
+from repro.workload.profiles import benchmark_names
+
+#: Default dynamic instructions per run; scaled by ``REPRO_SCALE``.
+DEFAULT_INSTRUCTIONS = 60_000
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Run-size knobs common to every experiment.
+
+    Attributes:
+        instructions: trace length per (benchmark, config) run.
+        benchmarks: which applications to include (paper order).
+    """
+
+    instructions: int = DEFAULT_INSTRUCTIONS
+    benchmarks: Sequence[str] = field(default_factory=lambda: benchmark_names())
+
+
+def settings_from_env() -> ExperimentSettings:
+    """Build settings honoring ``REPRO_SCALE`` and ``REPRO_BENCHMARKS``.
+
+    ``REPRO_SCALE=2.0`` doubles trace lengths; ``REPRO_BENCHMARKS`` is a
+    comma-separated subset of application names.
+    """
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    instructions = max(2_000, int(DEFAULT_INSTRUCTIONS * scale))
+    raw = os.environ.get("REPRO_BENCHMARKS", "")
+    benchmarks = tuple(name for name in raw.split(",") if name) or benchmark_names()
+    return ExperimentSettings(instructions=instructions, benchmarks=benchmarks)
+
+
+def benchmark_list(settings: Optional[ExperimentSettings] = None) -> Sequence[str]:
+    """The applications an experiment iterates over."""
+    return (settings or settings_from_env()).benchmarks
+
+
+def run_pair(
+    benchmark: str,
+    technique: SystemConfig,
+    baseline: SystemConfig,
+    settings: ExperimentSettings,
+) -> tuple:
+    """Run technique and baseline for one application (both memoized)."""
+    base_result = run_benchmark(benchmark, baseline, settings.instructions)
+    tech_result = run_benchmark(benchmark, technique, settings.instructions)
+    return tech_result, base_result
+
+
+@dataclass
+class MetricRow:
+    """One application's relative metrics for one technique."""
+
+    benchmark: str
+    technique: str
+    relative_energy_delay: float
+    performance_degradation: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+def mean_row(rows: Iterable[MetricRow], technique: str) -> MetricRow:
+    """Arithmetic-mean row across applications (the paper's averages)."""
+    rows = list(rows)
+    extras: Dict[str, float] = {}
+    if rows and rows[0].extras:
+        for key in rows[0].extras:
+            extras[key] = arithmetic_mean(r.extras.get(key, 0.0) for r in rows)
+    return MetricRow(
+        benchmark="MEAN",
+        technique=technique,
+        relative_energy_delay=arithmetic_mean(r.relative_energy_delay for r in rows),
+        performance_degradation=arithmetic_mean(r.performance_degradation for r in rows),
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# ASCII rendering
+# ---------------------------------------------------------------------- #
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Render a plain ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar(value: float, scale: float = 40.0, maximum: float = 1.0) -> str:
+    """Render a value as a text bar (the figures' visual analogue)."""
+    filled = int(round(min(value, maximum) / maximum * scale))
+    return "#" * filled
+
+
+def kind_breakdown(result: SimResult, kinds: Sequence[str], icache: bool = False) -> Dict[str, float]:
+    """Normalized access-kind fractions for the breakdown plots."""
+    source = result.icache_kinds if icache else result.dcache_kinds
+    total = sum(source.values()) or 1
+    return {kind: source.get(kind, 0) / total for kind in kinds}

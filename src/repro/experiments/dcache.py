@@ -1,0 +1,106 @@
+"""Shared d-cache experiment driver used by Figures 4-9."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.kinds import DCACHE_KINDS
+from repro.experiments.common import (
+    ExperimentSettings,
+    MetricRow,
+    format_table,
+    kind_breakdown,
+    mean_row,
+    settings_from_env,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.results import (
+    performance_degradation,
+    relative_energy_delay,
+)
+from repro.sim.runner import run_benchmark
+
+
+def run_dcache_comparison(
+    techniques: Sequence[Tuple[str, SystemConfig]],
+    baseline: SystemConfig,
+    settings: Optional[ExperimentSettings] = None,
+    component: str = "dcache",
+) -> Dict[str, List[MetricRow]]:
+    """Run each technique against the baseline over all applications.
+
+    Returns:
+        Mapping from technique label to per-application rows followed by
+        a MEAN row.  ``extras`` carries prediction accuracy and the
+        access-kind breakdown fractions used by the figures' bottom
+        graphs.
+    """
+    settings = settings or settings_from_env()
+    out: Dict[str, List[MetricRow]] = {}
+    for label, config in techniques:
+        rows: List[MetricRow] = []
+        for bench in settings.benchmarks:
+            base = run_benchmark(bench, baseline, settings.instructions)
+            tech = run_benchmark(bench, config, settings.instructions)
+            extras = {
+                "prediction_accuracy": tech.dcache_prediction_accuracy,
+                "miss_rate": tech.dcache_miss_rate,
+            }
+            extras.update(
+                {f"kind_{k}": v for k, v in kind_breakdown(tech, DCACHE_KINDS).items()}
+            )
+            rows.append(
+                MetricRow(
+                    benchmark=bench,
+                    technique=label,
+                    relative_energy_delay=relative_energy_delay(tech, base, component),
+                    performance_degradation=performance_degradation(tech, base),
+                    extras=extras,
+                )
+            )
+        rows.append(mean_row(rows, label))
+        out[label] = rows
+    return out
+
+
+def render_comparison(
+    results: Dict[str, List[MetricRow]],
+    title: str,
+    show_accuracy: bool = False,
+    show_breakdown: bool = False,
+) -> str:
+    """ASCII rendering of a d-cache comparison (top graph of a figure)."""
+    headers = ["benchmark"]
+    for label in results:
+        headers.append(f"{label} E-D")
+        headers.append(f"{label} perf%")
+        if show_accuracy:
+            headers.append(f"{label} acc%")
+    benchmarks = [row.benchmark for row in next(iter(results.values()))]
+    table_rows = []
+    for i, bench in enumerate(benchmarks):
+        row = [bench]
+        for label in results:
+            r = results[label][i]
+            row.append(f"{r.relative_energy_delay:.3f}")
+            row.append(f"{r.performance_degradation * 100:+.1f}")
+            if show_accuracy:
+                row.append(f"{r.extras.get('prediction_accuracy', 0.0) * 100:.0f}")
+        table_rows.append(row)
+    text = format_table(headers, table_rows, title)
+    if show_breakdown:
+        text += "\n\n" + render_breakdown(results)
+    return text
+
+
+def render_breakdown(results: Dict[str, List[MetricRow]]) -> str:
+    """Access-kind breakdown (bottom graph of Figures 6-8)."""
+    headers = ["technique", "benchmark"] + list(DCACHE_KINDS)
+    table_rows = []
+    for label, rows in results.items():
+        for row in rows:
+            table_rows.append(
+                [label, row.benchmark]
+                + [f"{row.extras.get(f'kind_{k}', 0.0) * 100:.0f}%" for k in DCACHE_KINDS]
+            )
+    return format_table(headers, table_rows, "Access breakdown (% of d-cache reads)")

@@ -1,0 +1,33 @@
+"""Figure 4: sequential-access cache energy-delay and performance.
+
+The paper's finding: sequential access saves ~68% of d-cache
+energy-delay but degrades performance ~11% on average (up to 18%)
+because every access takes two cycles — unacceptable for an L1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.common import ExperimentSettings, MetricRow, settings_from_env
+from repro.experiments.dcache import render_comparison, run_dcache_comparison
+from repro.sim.config import SystemConfig
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> Dict[str, List[MetricRow]]:
+    """Sequential access vs the 1-cycle parallel baseline."""
+    settings = settings or settings_from_env()
+    baseline = SystemConfig()
+    return run_dcache_comparison(
+        [("Sequential", baseline.with_dcache_policy("sequential"))],
+        baseline,
+        settings,
+    )
+
+
+def render(settings: Optional[ExperimentSettings] = None) -> str:
+    """ASCII analogue of Figure 4."""
+    return render_comparison(
+        run(settings),
+        "Figure 4: Sequential-access cache relative energy-delay / performance degradation",
+    )

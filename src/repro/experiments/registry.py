@@ -1,0 +1,54 @@
+"""Experiment registry: id -> renderer, for the CLI and benches."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    fig04_sequential,
+    fig05_waypred,
+    fig06_selective_dm,
+    fig07_cache_size,
+    fig08_associativity,
+    fig09_latency,
+    fig10_icache,
+    fig11_processor,
+    table5,
+    tables,
+)
+
+#: Map experiment id -> zero-arg renderer returning the ASCII report.
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table1": tables.render_table1,
+    "table2": tables.render_table2,
+    "table3": tables.render_table3,
+    "table4": tables.render_table4,
+    "table5": table5.render,
+    "fig4": fig04_sequential.render,
+    "fig5": fig05_waypred.render,
+    "fig6": fig06_selective_dm.render,
+    "fig7": fig07_cache_size.render,
+    "fig8": fig08_associativity.render,
+    "fig9": fig09_latency.render,
+    "fig10": fig10_icache.render,
+    "fig11": fig11_processor.render,
+}
+
+
+def list_experiments() -> list:
+    """Registered experiment ids in presentation order."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> Callable[[], str]:
+    """Return the renderer for ``experiment_id``.
+
+    Raises:
+        KeyError: naming the valid ids.
+    """
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; valid: {list_experiments()}"
+        ) from None

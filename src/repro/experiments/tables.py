@@ -1,0 +1,142 @@
+"""Tables 1-4: configuration echoes, energy components, miss rates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.energy.cactilite import CactiLite
+from repro.energy.tables import prediction_table_energy
+from repro.experiments.common import ExperimentSettings, format_table, settings_from_env
+from repro.sim.config import SystemConfig
+from repro.sim.functional import measure_miss_rate
+from repro.sim.runner import get_trace
+from repro.workload.profiles import BENCHMARKS, benchmark_names
+
+
+def table1_rows() -> List[List[str]]:
+    """Table 1: system configuration parameters (echo of the defaults)."""
+    config = SystemConfig()
+    return [
+        ["Instruction issue & decode bandwidth", f"{config.core.issue_width} issues per cycle"],
+        ["L1 i-cache", f"{config.icache.size_kb}K, {config.icache.associativity}-way, "
+                       f"{config.icache.latency} cycle"],
+        ["Base L1 d-cache", f"{config.dcache.size_kb}K, {config.dcache.associativity}-way, "
+                            f"1 or 2 cycles, {config.core.dcache_ports} ports"],
+        ["L2 cache", f"{config.l2.size_kb // 1024}M, {config.l2.associativity}-way, "
+                     f"{config.l2.latency} cycle latency"],
+        ["Memory access latency", f"{config.memory_latency} cycles + "
+                                  f"{config.memory_cycles_per_chunk} cycles per "
+                                  f"{config.memory_chunk_bytes} bytes"],
+        ["Reorder buffer size", str(config.core.rob_size)],
+        ["LSQ size", str(config.core.lsq_size)],
+        ["Branch predictor", "2-level hybrid"],
+    ]
+
+
+def render_table1() -> str:
+    """Render Table 1."""
+    return format_table(["Parameter", "Value"], table1_rows(),
+                        "Table 1: System configuration parameters")
+
+
+def table2_rows() -> List[List[str]]:
+    """Table 2: applications, inputs, paper dynamic instruction counts."""
+    rows = []
+    for name in benchmark_names("int"):
+        profile = BENCHMARKS[name]
+        rows.append([name, profile.input_name, f"{profile.paper_billion_instrs:g}", "integer"])
+    for name in benchmark_names("fp"):
+        profile = BENCHMARKS[name]
+        rows.append([name, profile.input_name, f"{profile.paper_billion_instrs:g}", "fp"])
+    return rows
+
+
+def render_table2() -> str:
+    """Render Table 2."""
+    return format_table(["name", "input", "#inst (billions, paper)", "suite"], table2_rows(),
+                        "Table 2: Applications and input sets")
+
+
+@dataclass
+class Table3Row:
+    """One energy component, paper value vs our model."""
+
+    component: str
+    paper: float
+    measured: float
+
+
+def table3_rows(geometry: Optional[CacheGeometry] = None) -> List[Table3Row]:
+    """Table 3: relative cache energies from the Cacti-lite model."""
+    geometry = geometry or CacheGeometry(16 * 1024, 4, 32)
+    model = CactiLite().energy_model(geometry)
+    parallel = model.parallel_read()
+    return [
+        Table3Row("Parallel access cache read (4 ways read)", 1.00, parallel / parallel),
+        Table3Row("Sequential/way-predicted/DM access (1 way read)", 0.21,
+                  model.one_way_read() / parallel),
+        Table3Row("Cache write", 0.24, model.store_write() / parallel),
+        Table3Row("Tag array energy (included in all rows)", 0.06,
+                  model.tag_all_read / parallel),
+        Table3Row("1024 entry x 4 bit prediction table read/write", 0.007,
+                  prediction_table_energy(1024, 4) / parallel),
+    ]
+
+
+def render_table3() -> str:
+    """Render Table 3 with paper-vs-measured columns."""
+    rows = [
+        [r.component, f"{r.paper:.3f}", f"{r.measured:.3f}"] for r in table3_rows()
+    ]
+    return format_table(["Energy component", "Paper", "Model"], rows,
+                        "Table 3: Cache energy and prediction overhead (relative)")
+
+
+@dataclass
+class Table4Row:
+    """One application's direct-mapped and 4-way miss rates (percent)."""
+
+    benchmark: str
+    dm_measured: float
+    dm_paper: float
+    sa_measured: float
+    sa_paper: float
+
+
+def table4_rows(settings: Optional[ExperimentSettings] = None) -> List[Table4Row]:
+    """Table 4: d-cache miss rates, DM vs 4-way set-associative."""
+    settings = settings or settings_from_env()
+    dm_geometry = CacheGeometry(16 * 1024, 1, 32)
+    sa_geometry = CacheGeometry(16 * 1024, 4, 32)
+    rows = []
+    for name in settings.benchmarks:
+        profile = BENCHMARKS[name]
+        trace = get_trace(name, max(settings.instructions, 60_000))
+        dm = measure_miss_rate(trace, dm_geometry)
+        sa = measure_miss_rate(trace, sa_geometry)
+        rows.append(
+            Table4Row(
+                benchmark=name,
+                dm_measured=dm.miss_rate * 100,
+                dm_paper=profile.paper_dm_miss_pct,
+                sa_measured=sa.miss_rate * 100,
+                sa_paper=profile.paper_sa4_miss_pct,
+            )
+        )
+    return rows
+
+
+def render_table4(settings: Optional[ExperimentSettings] = None) -> str:
+    """Render Table 4 with paper-vs-measured columns."""
+    rows = [
+        [r.benchmark, f"{r.dm_measured:.1f}", f"{r.dm_paper:.1f}",
+         f"{r.sa_measured:.1f}", f"{r.sa_paper:.1f}"]
+        for r in table4_rows(settings)
+    ]
+    return format_table(
+        ["benchmark", "DM (model)", "DM (paper)", "4-way (model)", "4-way (paper)"],
+        rows,
+        "Table 4: D-cache miss rates (%)",
+    )

@@ -1,0 +1,37 @@
+"""Bimodal (PC-indexed) branch direction predictor."""
+
+from __future__ import annotations
+
+from repro.utils.bitops import bit_mask, is_power_of_two, log2_exact
+
+
+class BimodalPredictor:
+    """A table of 2-bit counters indexed by low PC bits.
+
+    Counters initialize to weakly-taken (2) as in SimpleScalar.
+    """
+
+    def __init__(self, entries: int = 2048) -> None:
+        if not is_power_of_two(entries):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        self.entries = entries
+        self._index_mask = bit_mask(log2_exact(entries))
+        self._counters = [2] * entries
+
+    def _index(self, pc: int) -> int:
+        # Instructions are 4-byte aligned; drop the always-zero bits.
+        return (pc >> 2) & self._index_mask
+
+    def predict(self, pc: int) -> bool:
+        """Return the predicted direction (True = taken)."""
+        return self._counters[self._index(pc)] >= 2
+
+    def train(self, pc: int, taken: bool) -> None:
+        """Update toward the resolved direction."""
+        index = self._index(pc)
+        value = self._counters[index]
+        if taken:
+            if value < 3:
+                self._counters[index] = value + 1
+        elif value > 0:
+            self._counters[index] = value - 1

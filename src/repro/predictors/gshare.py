@@ -1,0 +1,48 @@
+"""Gshare: global-history branch direction predictor."""
+
+from __future__ import annotations
+
+from repro.utils.bitops import bit_mask, is_power_of_two, log2_exact
+
+
+class GsharePredictor:
+    """2-bit counters indexed by PC xor global history.
+
+    The global history register is updated speculatively by the fetch
+    unit on every predicted branch and repaired on mispredictions (the
+    trace-driven core trains with resolved outcomes in order, so repair
+    reduces to training with the true history).
+    """
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12) -> None:
+        if not is_power_of_two(entries):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        self.entries = entries
+        self.history_bits = history_bits
+        self._index_bits = log2_exact(entries)
+        self._index_mask = bit_mask(self._index_bits)
+        self._history_mask = bit_mask(history_bits)
+        self._counters = [2] * entries
+        self.history = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.history) & self._index_mask
+
+    def predict(self, pc: int) -> bool:
+        """Return the predicted direction under the current history."""
+        return self._counters[self._index(pc)] >= 2
+
+    def train(self, pc: int, taken: bool) -> None:
+        """Update the counter for (pc, current history), then shift history."""
+        index = self._index(pc)
+        value = self._counters[index]
+        if taken:
+            if value < 3:
+                self._counters[index] = value + 1
+        elif value > 0:
+            self._counters[index] = value - 1
+        self.update_history(taken)
+
+    def update_history(self, taken: bool) -> None:
+        """Shift the resolved direction into the global history register."""
+        self.history = ((self.history << 1) | int(taken)) & self._history_mask

@@ -1,0 +1,54 @@
+"""Saturating counters, the basic unit of every table in the paper.
+
+The selective-DM mapping predictor is exactly this: "a two-bit counter
+with values saturating at 0 and 3.  Counter values of 0 and 1 flag
+direct-mapping, and values 2 and 3 flag set-associative mapping"
+(section 2.2.2).
+"""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An n-bit saturating counter.
+
+    Attributes:
+        value: current count, clamped to [0, maximum].
+        maximum: saturation ceiling (3 for a 2-bit counter).
+    """
+
+    __slots__ = ("value", "maximum")
+
+    def __init__(self, bits: int = 2, initial: int = 0) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self.maximum = (1 << bits) - 1
+        if not 0 <= initial <= self.maximum:
+            raise ValueError(f"initial value {initial} outside [0, {self.maximum}]")
+        self.value = initial
+
+    def increment(self) -> None:
+        """Count up, saturating at the maximum."""
+        if self.value < self.maximum:
+            self.value += 1
+
+    def decrement(self) -> None:
+        """Count down, saturating at zero."""
+        if self.value > 0:
+            self.value -= 1
+
+    @property
+    def msb_set(self) -> bool:
+        """True when the counter is in its upper half.
+
+        For branch predictors this means "predict taken"; for the
+        selective-DM mapping counter it means "probe set-associative".
+        """
+        return self.value > self.maximum // 2
+
+    def train(self, outcome: bool) -> None:
+        """Move toward ``outcome`` (True = increment)."""
+        if outcome:
+            self.increment()
+        else:
+            self.decrement()

@@ -1,0 +1,17 @@
+"""Simulation wiring: configs, the simulator, results, and the runner."""
+
+from repro.sim.config import CacheLevelConfig, SystemConfig, paper_baseline
+from repro.sim.results import SimResult, relative_energy_delay
+from repro.sim.simulator import Simulator
+from repro.sim.runner import clear_caches, run_benchmark
+
+__all__ = [
+    "CacheLevelConfig",
+    "SimResult",
+    "Simulator",
+    "SystemConfig",
+    "clear_caches",
+    "paper_baseline",
+    "relative_energy_delay",
+    "run_benchmark",
+]

@@ -1,0 +1,170 @@
+"""Simulation results: a plain, serializable record plus the paper's
+relative-metric arithmetic.
+
+The paper normalizes per application: relative cache energy-delay is
+"relative d-cache energy multiplied by relative execution time", and
+performance degradation is the relative increase in execution time,
+always against the 1-cycle (or 2-cycle, for Figure 9) parallel-access
+configuration of the same geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.utils.statsutil import safe_ratio
+
+
+@dataclass
+class SimResult:
+    """Flat, JSON-serializable result of one simulation run."""
+
+    benchmark: str
+    config_key: str
+    instructions: int
+    cycles: int
+    committed: int
+    # core
+    branches: int = 0
+    branch_mispredicts: int = 0
+    fetch_cycles: int = 0
+    # d-cache
+    dcache_loads: int = 0
+    dcache_stores: int = 0
+    dcache_load_misses: int = 0
+    dcache_misses: int = 0
+    dcache_predictions: int = 0
+    dcache_correct_predictions: int = 0
+    dcache_second_probes: int = 0
+    dcache_kinds: Dict[str, int] = field(default_factory=dict)
+    # i-cache
+    icache_fetches: int = 0
+    icache_misses: int = 0
+    icache_predictions: int = 0
+    icache_correct_predictions: int = 0
+    icache_second_probes: int = 0
+    icache_kinds: Dict[str, int] = field(default_factory=dict)
+    # l2
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    # energy (REU)
+    energy: Dict[str, float] = field(default_factory=dict)
+    processor_components: Dict[str, float] = field(default_factory=dict)
+
+    # -------------------------------------------------------------- #
+    # Derived quantities
+    # -------------------------------------------------------------- #
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return safe_ratio(self.committed, self.cycles)
+
+    @property
+    def dcache_miss_rate(self) -> float:
+        """D-cache miss ratio over loads+stores."""
+        return safe_ratio(self.dcache_misses, self.dcache_loads + self.dcache_stores)
+
+    @property
+    def dcache_load_miss_rate(self) -> float:
+        """D-cache load miss ratio."""
+        return safe_ratio(self.dcache_load_misses, self.dcache_loads)
+
+    @property
+    def dcache_prediction_accuracy(self) -> float:
+        """Way/mapping prediction accuracy over predicted d-cache hits."""
+        return safe_ratio(self.dcache_correct_predictions, self.dcache_predictions)
+
+    @property
+    def icache_miss_rate(self) -> float:
+        """I-cache miss ratio."""
+        return safe_ratio(self.icache_misses, self.icache_fetches)
+
+    @property
+    def icache_prediction_accuracy(self) -> float:
+        """I-cache way prediction accuracy over predicted fetches."""
+        return safe_ratio(self.icache_correct_predictions, self.icache_predictions)
+
+    @property
+    def branch_accuracy(self) -> float:
+        """Branch direction+target accuracy."""
+        return 1.0 - safe_ratio(self.branch_mispredicts, self.branches)
+
+    @property
+    def dcache_energy(self) -> float:
+        """L1 d-cache energy plus its prediction-structure overhead."""
+        return self.energy.get("l1_dcache", 0.0) + self.energy.get("prediction_dcache", 0.0)
+
+    @property
+    def icache_energy(self) -> float:
+        """L1 i-cache energy plus its prediction-structure overhead."""
+        return self.energy.get("l1_icache", 0.0) + self.energy.get("prediction_icache", 0.0)
+
+    @property
+    def processor_energy(self) -> float:
+        """Whole-processor energy (Wattch-lite)."""
+        return sum(self.processor_components.values())
+
+    @property
+    def cache_fraction_of_processor(self) -> float:
+        """L1 caches' share of processor energy (paper: 10-16%)."""
+        l1 = self.processor_components.get("l1_icache", 0.0) + self.processor_components.get(
+            "l1_dcache", 0.0
+        )
+        return safe_ratio(l1, self.processor_energy)
+
+    def dcache_kind_fraction(self, kind: str) -> float:
+        """Share of d-cache reads performed as ``kind``."""
+        total = sum(self.dcache_kinds.values())
+        return safe_ratio(self.dcache_kinds.get(kind, 0), total)
+
+    def icache_kind_fraction(self, kind: str) -> float:
+        """Share of i-cache fetches performed as ``kind``."""
+        total = sum(self.icache_kinds.values())
+        return safe_ratio(self.icache_kinds.get(kind, 0), total)
+
+
+# ------------------------------------------------------------------ #
+# Relative metrics (technique vs baseline), per the paper
+# ------------------------------------------------------------------ #
+
+
+def relative_execution_time(result: SimResult, baseline: SimResult) -> float:
+    """T_technique / T_baseline."""
+    return safe_ratio(result.cycles, baseline.cycles, default=1.0)
+
+
+def performance_degradation(result: SimResult, baseline: SimResult) -> float:
+    """Fractional slowdown (0.03 == 3% slower)."""
+    return relative_execution_time(result, baseline) - 1.0
+
+
+def relative_energy_delay(
+    result: SimResult, baseline: SimResult, component: str = "dcache"
+) -> float:
+    """Relative energy x relative time for ``component``.
+
+    Args:
+        component: "dcache", "icache", or "processor".
+    """
+    if component == "dcache":
+        energy_ratio = safe_ratio(result.dcache_energy, baseline.dcache_energy, default=1.0)
+    elif component == "icache":
+        energy_ratio = safe_ratio(result.icache_energy, baseline.icache_energy, default=1.0)
+    elif component == "processor":
+        energy_ratio = safe_ratio(result.processor_energy, baseline.processor_energy, default=1.0)
+    else:
+        raise ValueError(f"unknown component {component!r}")
+    return energy_ratio * relative_execution_time(result, baseline)
+
+
+def relative_energy(result: SimResult, baseline: SimResult, component: str = "processor") -> float:
+    """Relative energy for ``component`` (no delay term)."""
+    if component == "dcache":
+        return safe_ratio(result.dcache_energy, baseline.dcache_energy, default=1.0)
+    if component == "icache":
+        return safe_ratio(result.icache_energy, baseline.icache_energy, default=1.0)
+    if component == "processor":
+        return safe_ratio(result.processor_energy, baseline.processor_energy, default=1.0)
+    raise ValueError(f"unknown component {component!r}")

@@ -1,0 +1,125 @@
+"""Cached experiment runner.
+
+Experiments share runs heavily (every figure normalizes against the same
+parallel-access baseline), so results are memoized two ways:
+
+* an in-process dictionary for the current interpreter;
+* an optional on-disk JSON cache under ``.repro_cache/`` (disable by
+  setting ``REPRO_DISK_CACHE=0``) keyed by a SHA-256 of (benchmark,
+  config, instructions, salt), so re-running a bench suite does not
+  re-simulate identical configurations.
+
+Traces are also memoized per (benchmark, instructions, salt) because
+generation is pure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.sim.simulator import Simulator
+from repro.workload.generator import generate_trace
+from repro.workload.trace import Trace
+
+_RESULT_CACHE: Dict[str, SimResult] = {}
+_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+
+
+def _disk_cache_dir() -> Optional[Path]:
+    if os.environ.get("REPRO_DISK_CACHE", "1") == "0":
+        return None
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    path = Path(root)
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    return path
+
+
+def _cache_key(benchmark: str, config: SystemConfig, instructions: int, salt: int) -> str:
+    payload = f"{benchmark}|{config.key()}|{instructions}|{salt}|v1"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _load_disk(key: str) -> Optional[SimResult]:
+    directory = _disk_cache_dir()
+    if directory is None:
+        return None
+    path = directory / f"{key}.json"
+    if not path.exists():
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return SimResult(**data)
+    except (OSError, ValueError, TypeError):
+        return None
+
+
+def _store_disk(key: str, result: SimResult) -> None:
+    directory = _disk_cache_dir()
+    if directory is None:
+        return
+    path = directory / f"{key}.json"
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(asdict(result), handle)
+    except OSError:
+        pass  # caching is best-effort
+
+
+def get_trace(benchmark: str, instructions: int, salt: int = 0) -> Trace:
+    """Return the (memoized) trace for a benchmark."""
+    key = (benchmark, instructions, salt)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = generate_trace(benchmark, instructions, salt)
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def run_benchmark(
+    benchmark: str,
+    config: SystemConfig,
+    instructions: int,
+    salt: int = 0,
+    use_cache: bool = True,
+) -> SimResult:
+    """Simulate ``benchmark`` under ``config``; memoized."""
+    key = _cache_key(benchmark, config, instructions, salt)
+    if use_cache:
+        cached = _RESULT_CACHE.get(key)
+        if cached is not None:
+            return cached
+        cached = _load_disk(key)
+        if cached is not None:
+            _RESULT_CACHE[key] = cached
+            return cached
+    trace = get_trace(benchmark, instructions, salt)
+    result = Simulator(config).run(trace)
+    if use_cache:
+        _RESULT_CACHE[key] = result
+        _store_disk(key, result)
+    return result
+
+
+def clear_caches(disk: bool = False) -> None:
+    """Drop memoized traces/results (tests use this for isolation)."""
+    _RESULT_CACHE.clear()
+    _TRACE_CACHE.clear()
+    if disk:
+        directory = _disk_cache_dir()
+        if directory is not None:
+            for path in directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass

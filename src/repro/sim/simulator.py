@@ -1,0 +1,149 @@
+"""The simulator: builds a system from a config and runs one trace."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.hierarchy import L2Cache, MainMemory, MemoryHierarchy
+from repro.core.engine import DCacheEngine
+from repro.core.factory import build_dcache_policy
+from repro.core.icache import ICacheEngine
+from repro.cpu.fetch import FetchUnit
+from repro.cpu.ooo import OutOfOrderCore
+from repro.cpu.stats import CoreStats
+from repro.energy.cactilite import CactiLite
+from repro.energy.ledger import EnergyLedger
+from repro.energy.processor import WattchLite, WattchParameters
+from repro.energy.tables import PredictionStructureEnergy
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.workload.trace import Trace
+
+
+class Simulator:
+    """One system instance; construct fresh per run (state is not reusable)."""
+
+    def __init__(self, config: SystemConfig, wattch: Optional[WattchParameters] = None) -> None:
+        self.config = config
+        self.ledger = EnergyLedger()
+        cacti = CactiLite()
+
+        # Backing hierarchy (shared, unified L2 as in Table 1).
+        memory = MainMemory(
+            base_latency=config.memory_latency,
+            cycles_per_chunk=config.memory_cycles_per_chunk,
+            chunk_bytes=config.memory_chunk_bytes,
+        )
+        self.l2 = L2Cache(
+            geometry=config.l2.geometry(),
+            latency=config.l2.latency,
+            memory=memory,
+            replacement=config.replacement,
+        )
+        hierarchy = MemoryHierarchy(self.l2)
+        self._l2_energy_model = cacti.energy_model(config.l2.geometry())
+
+        # Prediction-structure energies sized from the policy specs.
+        dspec = config.dcache_policy
+        pred_energy = PredictionStructureEnergy.build(
+            table_entries=dspec.table_entries,
+            victim_entries=dspec.victim_entries,
+            way_bits=max(config.dcache.geometry().fields.way_bits, 1),
+        )
+        ipred_energy = PredictionStructureEnergy.build(
+            table_entries=config.icache_policy.sawp_entries,
+            table_bits=max(config.icache.geometry().fields.way_bits, 1),
+            way_bits=max(config.icache.geometry().fields.way_bits, 1),
+        )
+
+        # L1 engines.
+        self.dcache = DCacheEngine(
+            geometry=config.dcache.geometry(),
+            policy=build_dcache_policy(dspec),
+            hierarchy=hierarchy,
+            energy=cacti.energy_model(config.dcache.geometry()),
+            pred_energy=pred_energy,
+            ledger=self.ledger,
+            base_latency=config.dcache.latency,
+            replacement=config.replacement,
+        )
+        self.icache = ICacheEngine(
+            geometry=config.icache.geometry(),
+            hierarchy=hierarchy,
+            energy=cacti.energy_model(config.icache.geometry()),
+            pred_energy=ipred_energy,
+            ledger=self.ledger,
+            base_latency=config.icache.latency,
+            way_predict=config.icache_policy.way_predict,
+            replacement=config.replacement,
+        )
+        self.wattch = WattchLite(wattch if wattch is not None else WattchParameters())
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, trace: Trace) -> SimResult:
+        """Execute ``trace`` and assemble the result record."""
+        core_stats = CoreStats()
+        fetch_unit = FetchUnit(trace, self.icache, self.config.core, core_stats)
+        core = OutOfOrderCore(self.config.core, fetch_unit, self.dcache, core_stats)
+        core.run()
+
+        # Post-run L2 energy: the L2 uses sequential (tag-then-way) access
+        # as in the Alpha 21164, so each access costs one-way energy.
+        l2_stats = self.l2.stats
+        l2_energy = (
+            l2_stats.accesses * self._l2_energy_model.one_way_read()
+            + l2_stats.fills * self._l2_energy_model.fill_write()
+        )
+        self.ledger.charge("l2", l2_energy)
+
+        energy = dict(self.ledger.as_dict())
+        report = self.wattch.report(
+            cycles=core_stats.cycles,
+            fetched_instrs=core_stats.fetched,
+            fetch_cycles=core_stats.fetch_cycles,
+            dispatched_instrs=core_stats.dispatched,
+            issued_instrs=core_stats.issued,
+            int_ops=core_stats.int_ops,
+            fp_ops=core_stats.fp_ops,
+            mem_ops=core_stats.mem_ops,
+            committed_instrs=core_stats.committed,
+            cache_energies={
+                "l1_icache": energy.get("l1_icache", 0.0)
+                + energy.get("prediction_icache", 0.0),
+                "l1_dcache": energy.get("l1_dcache", 0.0)
+                + energy.get("prediction_dcache", 0.0),
+                "l2": energy.get("l2", 0.0),
+            },
+        )
+
+        dstats = self.dcache.stats
+        istats = self.icache.stats
+        return SimResult(
+            benchmark=trace.name,
+            config_key=self.config.key(),
+            instructions=len(trace),
+            cycles=core_stats.cycles,
+            committed=core_stats.committed,
+            branches=core_stats.branches,
+            branch_mispredicts=core_stats.branch_mispredicts,
+            fetch_cycles=core_stats.fetch_cycles,
+            dcache_loads=dstats.loads,
+            dcache_stores=dstats.stores,
+            dcache_load_misses=dstats.load_misses,
+            dcache_misses=dstats.misses,
+            dcache_predictions=dstats.predictions,
+            dcache_correct_predictions=dstats.correct_predictions,
+            dcache_second_probes=dstats.second_probes,
+            dcache_kinds=dict(dstats.access_kinds),
+            icache_fetches=istats.loads,
+            icache_misses=istats.misses,
+            icache_predictions=istats.predictions,
+            icache_correct_predictions=istats.correct_predictions,
+            icache_second_probes=istats.second_probes,
+            icache_kinds=dict(istats.access_kinds),
+            l2_accesses=l2_stats.accesses,
+            l2_misses=l2_stats.misses,
+            energy=energy,
+            processor_components=dict(report.components),
+        )

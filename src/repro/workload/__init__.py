@@ -1,0 +1,55 @@
+"""Synthetic workload generation.
+
+The paper evaluates on SPEC binaries run under SimpleScalar; offline we
+have neither the binaries nor the Alpha ISA, so this package synthesizes
+instruction traces whose *observable behaviour* matches what the paper
+reports per application: direct-mapped vs set-associative miss rates
+(Table 4), way-prediction accuracy bands (Figure 5), the fraction of
+non-conflicting accesses (Figure 6), branch behaviour, and i-cache
+access patterns (Figure 10).
+
+The model has three layers:
+
+* :mod:`repro.workload.streams` — data-address generators (sequential
+  array walks, hot scalars, conflict groups, pointer chases);
+* :mod:`repro.workload.codegen` — a synthetic static code layout
+  (functions, loops, conditional branches, calls) walked at generation
+  time, producing the fetch-address stream;
+* :mod:`repro.workload.profiles` — per-application parameter presets for
+  the eleven benchmarks of Table 2.
+"""
+
+from repro.workload.instr import (
+    OP_BRANCH,
+    OP_CALL,
+    OP_FP,
+    OP_INT,
+    OP_LOAD,
+    OP_NAMES,
+    OP_RET,
+    OP_STORE,
+    Instr,
+)
+from repro.workload.generator import TraceGenerator, generate_trace
+from repro.workload.profiles import BenchmarkProfile, BENCHMARKS, benchmark_names, get_profile
+from repro.workload.trace import Trace, TraceSummary
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkProfile",
+    "Instr",
+    "OP_BRANCH",
+    "OP_CALL",
+    "OP_FP",
+    "OP_INT",
+    "OP_LOAD",
+    "OP_NAMES",
+    "OP_RET",
+    "OP_STORE",
+    "Trace",
+    "TraceGenerator",
+    "TraceSummary",
+    "benchmark_names",
+    "generate_trace",
+    "get_profile",
+]

@@ -1,0 +1,354 @@
+"""Trace synthesis: streams + code layout -> dynamic instruction trace."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.utils.rng import DeterministicRng
+from repro.workload.codegen import (
+    ControlFlowWalker,
+    LayoutParameters,
+    SLOT_FP,
+    SLOT_LOAD,
+    SLOT_STORE,
+    TERM_CALL,
+    TERM_COND,
+    TERM_FALL,
+    TERM_LOOP,
+    TERM_RET,
+    bind_streams,
+    build_layout,
+    measure_block_weights,
+)
+from repro.workload.instr import (
+    OP_BRANCH,
+    OP_CALL,
+    OP_FP,
+    OP_INT,
+    OP_LOAD,
+    OP_RET,
+    OP_STORE,
+    Instr,
+)
+from repro.workload.profiles import BenchmarkProfile, get_profile
+from repro.workload.streams import (
+    AddressStream,
+    ChaseStream,
+    ConflictStream,
+    HotDataLayout,
+    ObjectPoolStream,
+    RegionAllocator,
+    ScalarStream,
+    WalkStream,
+)
+from repro.workload.trace import Trace
+
+#: log2 of the block size used for XOR-handle construction.
+_BLOCK_SHIFT = 5
+
+# Register file split: integer r1..r30, floating point f32..f62.
+_INT_REGS = list(range(1, 31))
+_FP_REGS = list(range(32, 63))
+
+
+class _RegisterModel:
+    """Assigns destination/source registers with dataflow locality.
+
+    Sources prefer recently written registers (geometric-ish backward
+    distance), which creates the dependence chains that let the
+    out-of-order core's latency-hiding behave realistically.
+    """
+
+    def __init__(self, rng: DeterministicRng) -> None:
+        self._rng = rng
+        self._recent_int = deque([1, 2, 3, 4], maxlen=8)
+        self._recent_fp = deque([32, 33, 34, 35], maxlen=8)
+        self._recent_load = deque([1, 2], maxlen=4)
+        self._recent_alu = deque([3, 4], maxlen=4)
+        self._int_cursor = 0
+        self._fp_cursor = 0
+
+    def dest(self, fp: bool, is_load: bool = False) -> int:
+        if fp:
+            self._fp_cursor = (self._fp_cursor + 1) % len(_FP_REGS)
+            reg = _FP_REGS[self._fp_cursor]
+            self._recent_fp.append(reg)
+        else:
+            self._int_cursor = (self._int_cursor + 1) % len(_INT_REGS)
+            reg = _INT_REGS[self._int_cursor]
+            self._recent_int.append(reg)
+            if not is_load:
+                self._recent_alu.append(reg)
+        return reg
+
+    def source(self, fp: bool) -> int:
+        """Pick a source register, strongly biased to recent producers.
+
+        ~85% of sources come from the last few written registers, with
+        the most recent heavily favored — real code consumes values
+        almost immediately, which is what puts load latency on the
+        critical path (and is why the paper's 2-cycle sequential d-cache
+        costs ~11% performance despite an 8-wide out-of-order core).
+        """
+        pool = self._recent_fp if fp else self._recent_int
+        if self._rng.chance(0.85):
+            back = 0
+            while back < len(pool) - 1 and self._rng.chance(0.45):
+                back += 1
+            return pool[-1 - back]
+        return self._rng.choice(_FP_REGS if fp else _INT_REGS)
+
+    def note_load_dest(self, reg: int) -> None:
+        """Remember a load result for pointer/branch chaining."""
+        self._recent_load.append(reg)
+
+    def induction_source(self) -> int:
+        """Address register for array/scalar accesses.
+
+        Drawn from ALU results (induction variables, frame/base
+        pointers), *not* load results — a walk's address never waits on
+        cache latency, which is what lets the out-of-order core overlap
+        independent array streams (memory-level parallelism).
+        """
+        return self._recent_alu[-1 - self._rng.randint(0, len(self._recent_alu) - 1)]
+
+    def pointer_source(self) -> int:
+        """Address register for object/pointer accesses: frequently a
+        recent load result (``p->next``, ``a[b[i]]``), which puts cache
+        hit latency on the dependence chain — the effect that makes the
+        paper's all-sequential d-cache ~11% slower."""
+        if self._rng.chance(0.7):
+            return self._recent_load[-1]
+        return self.source(fp=False)
+
+    def branch_source(self) -> int:
+        """Condition register of a branch; often a fresh load result."""
+        if self._rng.chance(0.6):
+            return self._recent_load[-1]
+        return self.source(fp=False)
+
+
+class TraceGenerator:
+    """Generates deterministic traces for one benchmark profile."""
+
+    def __init__(self, profile: BenchmarkProfile, salt: int = 0) -> None:
+        self.profile = profile
+        self._rng = DeterministicRng(f"workload/{profile.name}", salt)
+        self.streams = self._build_streams()
+        params = self._layout_parameters()
+        self.layout = build_layout(params, self._rng.fork("layout"))
+        # Two-pass binding: probe-walk the layout to measure real block
+        # execution frequencies, then bind memory sites to stream
+        # families so the *dynamic* family mix matches the profile.
+        weights = measure_block_weights(self.layout, self._rng.fork("probe"))
+        bind_streams(self.layout, params, self._rng.fork("bind"), weights)
+        self._walker = ControlFlowWalker(self.layout, self._rng.fork("walk"))
+        self._regs = _RegisterModel(self._rng.fork("regs"))
+        self._addr_rng = self._rng.fork("addr")
+        self._noise_rng = self._rng.fork("noise")
+        # Pointer-family streams get load-fed address registers.
+        self._pointer_family = [
+            isinstance(s, (ObjectPoolStream, ConflictStream, ChaseStream))
+            for s in self.streams
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    def _build_streams(self) -> List[AddressStream]:
+        """Instantiate the stream pool in family order.
+
+        The hot working set (scalars, object pools, small arrays,
+        conflict-group positions) is placed by :class:`HotDataLayout` so
+        no two hot blocks share a direct-mapped position, while their
+        tags — and hence ways — vary.  Large streaming regions (big
+        walks, chases) live above the hot segment with cache coloring.
+        """
+        profile = self.profile
+        allocator = RegionAllocator()
+        hot = HotDataLayout(self._rng.fork("hot"))
+        rng = self._rng.fork("streams")
+        streams: List[AddressStream] = []
+        for _ in range(profile.num_scalars):
+            streams.append(ScalarStream(hot.take_block()))
+        for _ in range(profile.num_pools):
+            blocks = [hot.take_block() for _ in range(profile.pool_blocks)]
+            streams.append(ObjectPoolStream(blocks))
+        # Exactly round(frac * n) big walk instances.  Bigs take the
+        # *last* indices: site binding fills instances least-loaded-first
+        # starting at index 0, so the hottest sites land on small arrays
+        # and the big streaming arrays keep their intended modest share.
+        num_big = round(profile.walk_big_frac * profile.num_walks)
+        for index in range(profile.num_walks):
+            big = index >= profile.num_walks - num_big
+            if big:
+                size = max(int(profile.walk_big_kb * 1024), 4 * profile.walk_stride)
+                base = allocator.region(size, align=4096, color=True)
+            else:
+                size = max(int(profile.walk_small_kb * 1024), 4 * profile.walk_stride)
+                base = hot.take_chunk((size + 31) // 32)
+            streams.append(WalkStream(base, size, stride=profile.walk_stride))
+        for _ in range(profile.num_conflict_groups):
+            tags = allocator.conflict_tags(profile.conflict_group_size)
+            streams.append(
+                ConflictStream(
+                    hot.take_position(), tags, run_length=profile.conflict_run_length
+                )
+            )
+        for _ in range(profile.num_chases):
+            size = int(profile.chase_kb * 1024)
+            streams.append(ChaseStream(allocator.region(size), size))
+        return streams
+
+    def _layout_parameters(self) -> LayoutParameters:
+        profile = self.profile
+        counts = [
+            profile.num_scalars,
+            profile.num_pools,
+            profile.num_walks,
+            profile.num_conflict_groups,
+            profile.num_chases,
+        ]
+        first_ids = []
+        running = 0
+        for count in counts:
+            first_ids.append(running)
+            running += count
+        return LayoutParameters(
+            num_functions=profile.num_functions,
+            blocks_per_function=profile.blocks_per_function,
+            mean_block_len=profile.mean_block_len,
+            mem_frac=profile.mem_frac,
+            store_share=profile.store_share,
+            fp_frac=profile.fp_frac,
+            cond_frac=profile.cond_frac,
+            call_frac=profile.call_frac,
+            loop_frac=profile.loop_frac,
+            mean_trip=profile.mean_trip,
+            branch_bias=profile.branch_bias,
+            num_streams=running,
+            stream_weights=profile.stream_weights(),
+            stream_first_id=first_ids,
+            stream_counts=counts,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Emission
+    # ------------------------------------------------------------------ #
+
+    def _address_register(self, stream_id: int) -> int:
+        """Pick the address base register by stream family: array and
+        scalar addresses come from induction/frame registers, pointer
+        families (pools, conflict structures, chases) from recent load
+        results."""
+        if self._pointer_family[stream_id]:
+            return self._regs.pointer_source()
+        return self._regs.induction_source()
+
+    def _memory_instr(self, pc: int, slot_kind: int, stream_id: int) -> Instr:
+        stream = self.streams[stream_id]
+        addr = stream.next_address(self._addr_rng)
+        if slot_kind == SLOT_LOAD:
+            block_addr = addr >> _BLOCK_SHIFT
+            noise = min(1.0, stream.handle_noise * self.profile.xor_noise_scale)
+            if self._noise_rng.chance(noise):
+                handle = block_addr ^ (1 + self._noise_rng.randint(0, (1 << 12) - 1))
+            else:
+                handle = block_addr
+            dst = self._regs.dest(fp=False, is_load=True)
+            instr = Instr(
+                pc=pc,
+                op=OP_LOAD,
+                dst=dst,
+                src1=self._address_register(stream_id),
+                addr=addr,
+                xor_handle=handle,
+            )
+            self._regs.note_load_dest(dst)
+            return instr
+        return Instr(
+            pc=pc,
+            op=OP_STORE,
+            src1=self._address_register(stream_id),
+            src2=self._regs.source(fp=False),
+            addr=addr,
+        )
+
+    def _body_instr(self, pc: int, slot_kind: int, stream_id: int) -> Instr:
+        if slot_kind == SLOT_LOAD or slot_kind == SLOT_STORE:
+            return self._memory_instr(pc, slot_kind, stream_id)
+        fp = slot_kind == SLOT_FP
+        return Instr(
+            pc=pc,
+            op=OP_FP if fp else OP_INT,
+            dst=self._regs.dest(fp),
+            src1=self._regs.source(fp),
+            src2=self._regs.source(fp),
+        )
+
+    def generate(self, num_instructions: int) -> Trace:
+        """Produce a trace of exactly ``num_instructions`` instructions.
+
+        Branch targets are made coherent with the dynamic path: a taken
+        control instruction's ``target`` equals the next instruction's
+        block start, so the fetch model and predictors observe a
+        self-consistent program.
+        """
+        if num_instructions < 1:
+            raise ValueError("num_instructions must be >= 1")
+        out: List[Instr] = []
+        pending: Optional[Instr] = None  # terminator awaiting its target
+
+        while len(out) < num_instructions:
+            block, taken, aux_pc = self._walker.next_block()
+            if pending is not None:
+                if pending.taken:
+                    pending.target = block.start_pc
+                out.append(pending)
+                pending = None
+                if len(out) >= num_instructions:
+                    break
+            pc = block.start_pc
+            for slot_kind, stream_id in zip(block.slots, block.stream_ids):
+                out.append(self._body_instr(pc, slot_kind, stream_id))
+                pc += 4
+                if len(out) >= num_instructions:
+                    break
+            if len(out) >= num_instructions:
+                break
+            term = self._terminator(block, taken, aux_pc)
+            if term is not None:
+                pending = term  # target resolved when the next block arrives
+
+        return Trace(self.profile.name, out[:num_instructions])
+
+    def _terminator(self, block, taken: bool, aux_pc: int) -> Optional[Instr]:
+        """Build the block's terminator instruction, if it has one."""
+        kind = block.term_kind
+        pc = block.term_pc
+        if kind == TERM_FALL:
+            # Filler ALU op keeps PCs contiguous across the reserved slot.
+            return Instr(pc=pc, op=OP_INT, dst=self._regs.dest(fp=False))
+        if kind == TERM_COND or kind == TERM_LOOP:
+            return Instr(
+                pc=pc,
+                op=OP_BRANCH,
+                src1=self._regs.branch_source(),
+                taken=taken,
+            )
+        if kind == TERM_CALL:
+            if not taken:
+                # Call elided by the depth limit: an ordinary instruction
+                # occupies the slot.
+                return Instr(pc=pc, op=OP_INT, dst=self._regs.dest(fp=False))
+            return Instr(pc=pc, op=OP_CALL, taken=True)
+        if kind == TERM_RET:
+            return Instr(pc=pc, op=OP_RET, taken=True, target=aux_pc)
+        raise AssertionError(f"unknown terminator kind {kind}")
+
+
+def generate_trace(benchmark: str, num_instructions: int, salt: int = 0) -> Trace:
+    """Convenience wrapper: profile lookup + generation."""
+    return TraceGenerator(get_profile(benchmark), salt).generate(num_instructions)

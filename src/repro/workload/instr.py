@@ -1,0 +1,92 @@
+"""The dynamic instruction record.
+
+A trace is a sequence of :class:`Instr` on the *correct* execution path
+(trace-driven simulation; wrong-path fetch is modeled as stall time, the
+standard approximation).  Opcodes are small ints rather than an Enum
+because tens of millions of these flow through hot loops.
+"""
+
+from __future__ import annotations
+
+OP_INT = 0  #: integer ALU operation
+OP_FP = 1  #: floating-point operation
+OP_LOAD = 2  #: memory read
+OP_STORE = 3  #: memory write
+OP_BRANCH = 4  #: conditional branch
+OP_CALL = 5  #: function call (always taken)
+OP_RET = 6  #: function return (always taken)
+
+OP_NAMES = {
+    OP_INT: "int",
+    OP_FP: "fp",
+    OP_LOAD: "load",
+    OP_STORE: "store",
+    OP_BRANCH: "branch",
+    OP_CALL: "call",
+    OP_RET: "ret",
+}
+
+#: Opcodes that redirect fetch when taken.
+CONTROL_OPS = (OP_BRANCH, OP_CALL, OP_RET)
+#: Opcodes that access the d-cache.
+MEMORY_OPS = (OP_LOAD, OP_STORE)
+
+
+class Instr:
+    """One dynamic instruction.
+
+    Attributes:
+        pc: byte address of the instruction (4-byte aligned).
+        op: one of the ``OP_*`` constants.
+        dst: destination register number or -1.
+        src1: first source register number or -1.
+        src2: second source register number or -1.
+        addr: effective data address (loads/stores) else 0.
+        taken: resolved branch direction (control ops) else False.
+        target: resolved branch target (control ops) else 0.
+        xor_handle: the XOR-approximate block-address handle available to
+            late way-prediction for loads (section 2.2.1); 0 otherwise.
+    """
+
+    __slots__ = ("pc", "op", "dst", "src1", "src2", "addr", "taken", "target", "xor_handle")
+
+    def __init__(
+        self,
+        pc: int,
+        op: int,
+        dst: int = -1,
+        src1: int = -1,
+        src2: int = -1,
+        addr: int = 0,
+        taken: bool = False,
+        target: int = 0,
+        xor_handle: int = 0,
+    ) -> None:
+        self.pc = pc
+        self.op = op
+        self.dst = dst
+        self.src1 = src1
+        self.src2 = src2
+        self.addr = addr
+        self.taken = taken
+        self.target = target
+        self.xor_handle = xor_handle
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.op == OP_LOAD or self.op == OP_STORE
+
+    @property
+    def is_control(self) -> bool:
+        """True for branches, calls, and returns."""
+        return self.op == OP_BRANCH or self.op == OP_CALL or self.op == OP_RET
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = OP_NAMES.get(self.op, "?")
+        extra = ""
+        if self.is_memory:
+            extra = f" addr={self.addr:#x}"
+        if self.is_control:
+            extra = f" taken={self.taken} target={self.target:#x}"
+        return f"Instr(pc={self.pc:#x}, {name}{extra})"

@@ -1,0 +1,372 @@
+"""Per-application workload profiles (the eleven benchmarks of Table 2).
+
+Each profile's stream and code parameters were calibrated against the
+paper's published observables for that application:
+
+* Table 4 d-cache miss rates (direct-mapped vs 4-way set-associative) —
+  the calibration harness in ``tests/test_calibration.py`` checks the
+  measured rates sit in the right band and preserve each application's
+  DM-vs-SA *gap* (the quantity selective-DM exploits);
+* Figure 5's way-prediction accuracy ordering (XOR > PC on average;
+  the high-miss-rate fp codes applu/mgrid/swim have the lowest XOR
+  accuracy);
+* Figure 6's claim that 60%+ of accesses are non-conflicting even for
+  conflict-heavy applications;
+* Figure 10's i-cache behaviour: fp codes with long basic blocks lean on
+  the SAWP, branchy integer codes on the BTB, and fpppp's large code
+  footprint thrashes a 16K i-cache.
+
+``paper_billion_instrs`` echoes Table 2 (dynamic instructions the paper
+simulated, in billions); our traces are scaled-down synthetic stand-ins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Parameters steering trace synthesis for one application.
+
+    Attributes are grouped as: identity, instruction mix, control flow /
+    code layout, and data-stream composition.  Stream weights are the
+    probability that a static memory site binds to each family
+    (scalar, walk, conflict, chase).
+    """
+
+    # identity
+    name: str
+    suite: str  # "int" or "fp"
+    input_name: str
+    paper_billion_instrs: float
+    # Table 4 targets (percent), recorded for the calibration tests.
+    paper_dm_miss_pct: float
+    paper_sa4_miss_pct: float
+
+    # instruction mix
+    mem_frac: float = 0.33  # memory slots among block body slots
+    store_share: float = 0.33  # stores among memory slots
+    fp_frac: float = 0.0  # FP among non-memory body slots
+
+    # control flow / code layout
+    num_functions: int = 24
+    blocks_per_function: int = 10
+    mean_block_len: float = 6.0
+    cond_frac: float = 0.6  # of non-loop block terminators
+    call_frac: float = 0.15
+    loop_frac: float = 0.35
+    mean_trip: float = 8.0
+    branch_bias: float = 0.88
+
+    # data streams
+    scalar_weight: float = 0.15
+    pool_weight: float = 0.30
+    walk_weight: float = 0.45
+    conflict_weight: float = 0.05
+    chase_weight: float = 0.05
+    num_scalars: int = 24
+    num_pools: int = 4
+    pool_blocks: int = 12
+    num_walks: int = 12
+    walk_small_kb: float = 0.5
+    walk_big_kb: float = 96.0
+    walk_big_frac: float = 0.25
+    walk_stride: int = 8
+    num_conflict_groups: int = 6
+    conflict_group_size: int = 2
+    conflict_run_length: int = 8
+    #: Multiplier on stream handle noise; >1 models applications whose
+    #: XOR address approximation is poorer (high-miss fp codes).
+    xor_noise_scale: float = 1.0
+    num_chases: int = 4
+    chase_kb: float = 48.0
+
+    def stream_weights(self) -> List[float]:
+        """Family weights in (scalar, pool, walk, conflict, chase) order.
+
+        The binder normalizes by the sum, so they need not add to 1.
+        """
+        return [
+            self.scalar_weight,
+            self.pool_weight,
+            self.walk_weight,
+            self.conflict_weight,
+            self.chase_weight,
+        ]
+
+
+def _int_profile(**kwargs) -> BenchmarkProfile:
+    defaults = dict(suite="int", fp_frac=0.02, call_frac=0.22, loop_frac=0.30)
+    defaults.update(kwargs)
+    return BenchmarkProfile(**defaults)
+
+
+def _fp_profile(**kwargs) -> BenchmarkProfile:
+    defaults = dict(
+        suite="fp",
+        fp_frac=0.55,
+        mean_block_len=14.0,
+        cond_frac=0.35,
+        call_frac=0.06,
+        loop_frac=0.55,
+        mean_trip=24.0,
+        branch_bias=0.94,
+        num_functions=10,
+        blocks_per_function=8,
+    )
+    defaults.update(kwargs)
+    return BenchmarkProfile(**defaults)
+
+
+#: The paper's Table 2 applications with calibrated parameters.
+#:
+#: Stream weights were derived analytically from the Table 4 targets and
+#: then adjusted against measured rates (scripts/calibrate_profiles.py):
+#: conflict groups contribute ~their access share to the DM-vs-SA *gap*
+#: (they thrash a direct-mapped placement but coexist in N ways), big
+#: array walks contribute ~stride/block to both, and pointer-chase
+#: regions contribute their steady-state capacity miss rate to both.
+BENCHMARKS: Dict[str, BenchmarkProfile] = {
+    # ----------------------------- integer ----------------------------- #
+    "gcc": _int_profile(
+        name="gcc",
+        input_name="ref",
+        paper_billion_instrs=0.345,
+        paper_dm_miss_pct=5.1,
+        paper_sa4_miss_pct=3.3,
+        num_functions=40,
+        blocks_per_function=12,
+        scalar_weight=0.0800,
+        pool_weight=0.4200,
+        walk_weight=0.3000,
+        conflict_weight=0.1600,
+        conflict_run_length=9,
+        chase_weight=0.0365,
+        walk_big_frac=0.10,
+        num_conflict_groups=2,
+        conflict_group_size=2,
+        chase_kb=32.0,
+    ),
+    "go": _int_profile(
+        name="go",
+        input_name="ref",
+        paper_billion_instrs=1.07,
+        paper_dm_miss_pct=5.9,
+        paper_sa4_miss_pct=2.0,
+        num_functions=32,
+        blocks_per_function=12,
+        scalar_weight=0.1000,
+        pool_weight=0.3400,
+        walk_weight=0.2800,
+        conflict_weight=0.1800,
+        conflict_run_length=5,
+        chase_weight=0.0182,
+        walk_big_frac=0.08,
+        num_conflict_groups=3,
+        conflict_group_size=2,
+        chase_kb=32.0,
+        branch_bias=0.80,
+    ),
+    "li": _int_profile(
+        name="li",
+        input_name="train",
+        paper_billion_instrs=0.207,
+        paper_dm_miss_pct=4.7,
+        paper_sa4_miss_pct=3.3,
+        scalar_weight=0.1000,
+        pool_weight=0.4000,
+        walk_weight=0.3000,
+        conflict_weight=0.1400,
+        conflict_run_length=10,
+        chase_weight=0.0476,
+        walk_big_frac=0.08,
+        num_conflict_groups=3,
+        conflict_group_size=2,
+        chase_kb=32.0,
+    ),
+    "m88ksim": _int_profile(
+        name="m88ksim",
+        input_name="train",
+        paper_billion_instrs=0.135,
+        paper_dm_miss_pct=3.5,
+        paper_sa4_miss_pct=1.3,
+        scalar_weight=0.1000,
+        pool_weight=0.4000,
+        walk_weight=0.3000,
+        conflict_weight=0.1500,
+        conflict_run_length=7,
+        chase_weight=0.0204,
+        walk_big_frac=0.07,
+        num_conflict_groups=3,
+        conflict_group_size=2,
+        chase_kb=32.0,
+    ),
+    "perl": _int_profile(
+        name="perl",
+        input_name="train",
+        paper_billion_instrs=1.07,
+        paper_dm_miss_pct=3.0,
+        paper_sa4_miss_pct=1.3,
+        scalar_weight=0.1200,
+        pool_weight=0.4000,
+        walk_weight=0.3000,
+        conflict_weight=0.1400,
+        conflict_run_length=8,
+        chase_weight=0.0213,
+        walk_big_frac=0.06,
+        num_conflict_groups=3,
+        conflict_group_size=2,
+        chase_kb=32.0,
+    ),
+    "troff": _int_profile(
+        name="troff",
+        input_name="train",
+        paper_billion_instrs=0.051,
+        paper_dm_miss_pct=2.7,
+        paper_sa4_miss_pct=0.8,
+        scalar_weight=0.1000,
+        pool_weight=0.4200,
+        walk_weight=0.3000,
+        conflict_weight=0.1400,
+        conflict_run_length=7,
+        chase_weight=0.0055,
+        walk_big_frac=0.035,
+        num_conflict_groups=3,
+        conflict_group_size=2,
+        chase_kb=32.0,
+    ),
+    "vortex": _int_profile(
+        name="vortex",
+        input_name="test",
+        paper_billion_instrs=1.07,
+        paper_dm_miss_pct=3.1,
+        paper_sa4_miss_pct=1.8,
+        num_functions=36,
+        scalar_weight=0.1000,
+        pool_weight=0.4200,
+        walk_weight=0.3000,
+        conflict_weight=0.1300,
+        conflict_run_length=10,
+        chase_weight=0.0260,
+        walk_big_frac=0.07,
+        num_conflict_groups=3,
+        conflict_group_size=2,
+        chase_kb=32.0,
+    ),
+    # ------------------------- floating point -------------------------- #
+    "applu": _fp_profile(
+        name="applu",
+        input_name="train",
+        paper_billion_instrs=1.07,
+        paper_dm_miss_pct=8.2,
+        paper_sa4_miss_pct=7.0,
+        scalar_weight=0.0600,
+        pool_weight=0.2800,
+        walk_weight=0.6000,
+        conflict_weight=0.0300,
+        conflict_run_length=3,
+        chase_weight=0.0285,
+        xor_noise_scale=2.2,
+        walk_big_kb=256.0,
+        walk_big_frac=0.40,
+        num_conflict_groups=2,
+        conflict_group_size=2,
+        chase_kb=64.0,
+    ),
+    "fpppp": _fp_profile(
+        name="fpppp",
+        input_name="train",
+        paper_billion_instrs=0.234,
+        paper_dm_miss_pct=6.3,
+        paper_sa4_miss_pct=0.5,
+        # Large, conflicting code footprint: thrashes the 16K i-cache.
+        num_functions=44,
+        blocks_per_function=12,
+        mean_block_len=16.0,
+        cond_frac=0.40,
+        call_frac=0.32,
+        loop_frac=0.20,
+        mean_trip=5.0,
+        scalar_weight=0.1000,
+        pool_weight=0.3600,
+        walk_weight=0.2600,
+        conflict_weight=0.2200,
+        conflict_run_length=4,
+        chase_weight=0.0096,
+        xor_noise_scale=1.2,
+        walk_small_kb=0.5,
+        walk_big_frac=0.01,
+        num_conflict_groups=4,
+        conflict_group_size=2,
+        chase_kb=8.0,
+    ),
+    "mgrid": _fp_profile(
+        name="mgrid",
+        input_name="train",
+        paper_billion_instrs=1.07,
+        paper_dm_miss_pct=5.4,
+        paper_sa4_miss_pct=5.1,
+        scalar_weight=0.0500,
+        pool_weight=0.2000,
+        walk_weight=0.7300,
+        conflict_weight=0.0050,
+        conflict_run_length=2,
+        chase_weight=0.0220,
+        xor_noise_scale=2.2,
+        walk_big_kb=192.0,
+        walk_big_frac=0.27,
+        num_conflict_groups=2,
+        conflict_group_size=2,
+        chase_kb=64.0,
+    ),
+    "swim": _fp_profile(
+        name="swim",
+        input_name="test",
+        paper_billion_instrs=0.492,
+        paper_dm_miss_pct=23.3,
+        paper_sa4_miss_pct=25.2,
+        scalar_weight=0.0200,
+        pool_weight=0.0600,
+        walk_weight=0.8800,
+        conflict_weight=0.0100,
+        conflict_run_length=4,
+        chase_weight=0.0497,
+        xor_noise_scale=2.8,
+        walk_big_kb=512.0,
+        walk_big_frac=1.0,
+        num_conflict_groups=2,
+        conflict_group_size=2,
+        chase_kb=256.0,
+    ),
+}
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Return the profile for ``name``.
+
+    Raises:
+        KeyError: listing the valid names, to fail fast on typos.
+    """
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; valid: {sorted(BENCHMARKS)}") from None
+
+
+def benchmark_names(suite: str = "all") -> Tuple[str, ...]:
+    """Names in the paper's presentation order (fp first, then integer).
+
+    Args:
+        suite: "all", "int", or "fp".
+    """
+    fp = ("applu", "fpppp", "mgrid", "swim")
+    integer = ("gcc", "go", "li", "m88ksim", "perl", "troff", "vortex")
+    if suite == "fp":
+        return fp
+    if suite == "int":
+        return integer
+    if suite == "all":
+        return fp + integer
+    raise ValueError(f"suite must be 'all', 'int', or 'fp', got {suite!r}")

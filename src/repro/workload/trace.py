@@ -1,0 +1,89 @@
+"""Trace container and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.workload.instr import (
+    OP_BRANCH,
+    OP_CALL,
+    OP_FP,
+    OP_INT,
+    OP_LOAD,
+    OP_RET,
+    OP_STORE,
+    Instr,
+)
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Instruction-mix statistics of a trace."""
+
+    instructions: int
+    loads: int
+    stores: int
+    branches: int
+    calls: int
+    returns: int
+    int_ops: int
+    fp_ops: int
+    unique_load_pcs: int
+    unique_blocks_touched: int
+
+    @property
+    def load_frac(self) -> float:
+        """Loads as a fraction of all instructions."""
+        return self.loads / self.instructions if self.instructions else 0.0
+
+    @property
+    def store_frac(self) -> float:
+        """Stores as a fraction of all instructions."""
+        return self.stores / self.instructions if self.instructions else 0.0
+
+    @property
+    def control_frac(self) -> float:
+        """Control-flow instructions as a fraction of all instructions."""
+        total = self.branches + self.calls + self.returns
+        return total / self.instructions if self.instructions else 0.0
+
+
+class Trace:
+    """A sequence of dynamic instructions plus its origin metadata."""
+
+    def __init__(self, name: str, instructions: Sequence[Instr]) -> None:
+        self.name = name
+        self.instructions: List[Instr] = list(instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instr:
+        return self.instructions[index]
+
+    def summary(self) -> TraceSummary:
+        """Compute the instruction-mix summary."""
+        counts = {OP_INT: 0, OP_FP: 0, OP_LOAD: 0, OP_STORE: 0, OP_BRANCH: 0, OP_CALL: 0, OP_RET: 0}
+        load_pcs = set()
+        blocks = set()
+        for instr in self.instructions:
+            counts[instr.op] += 1
+            if instr.op == OP_LOAD:
+                load_pcs.add(instr.pc)
+            blocks.add(instr.pc >> 5)
+        return TraceSummary(
+            instructions=len(self.instructions),
+            loads=counts[OP_LOAD],
+            stores=counts[OP_STORE],
+            branches=counts[OP_BRANCH],
+            calls=counts[OP_CALL],
+            returns=counts[OP_RET],
+            int_ops=counts[OP_INT],
+            fp_ops=counts[OP_FP],
+            unique_load_pcs=len(load_pcs),
+            unique_blocks_touched=len(blocks),
+        )

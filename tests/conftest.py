@@ -1,0 +1,45 @@
+"""Test-suite fixtures: small geometries, models, and traces."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.energy.cactilite import CactiLite
+from repro.energy.ledger import EnergyLedger
+from repro.energy.tables import PredictionStructureEnergy
+from repro.sim.config import SystemConfig
+
+
+@pytest.fixture
+def geometry16k4w():
+    """The paper's reference L1 geometry."""
+    return CacheGeometry(16 * 1024, 4, 32)
+
+
+@pytest.fixture
+def tiny_geometry():
+    """A 4-set, 2-way toy cache for exhaustive behavioural tests."""
+    return CacheGeometry(256, 2, 32)
+
+
+@pytest.fixture
+def energy16k4w(geometry16k4w):
+    """Energy model for the reference geometry."""
+    return CactiLite().energy_model(geometry16k4w)
+
+
+@pytest.fixture
+def pred_energy():
+    """Paper-sized prediction structure energies."""
+    return PredictionStructureEnergy.build()
+
+
+@pytest.fixture
+def ledger():
+    """Fresh energy ledger."""
+    return EnergyLedger()
+
+
+@pytest.fixture
+def base_config():
+    """The paper's Table 1 baseline system."""
+    return SystemConfig()

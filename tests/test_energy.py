@@ -1,0 +1,180 @@
+"""Energy-model tests: Table 3 calibration, scaling trends, ledger."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.energy.cactilite import CactiLite
+from repro.energy.constants import NANOJOULE_PER_REU
+from repro.energy.ledger import EnergyLedger
+from repro.energy.processor import WattchLite
+from repro.energy.tables import PredictionStructureEnergy, cam_energy, prediction_table_energy
+
+
+class TestTable3Calibration:
+    """The model must reproduce the paper's Table 3 for 16K 4-way 32B."""
+
+    def setup_method(self):
+        self.model = CactiLite().energy_model(CacheGeometry(16 * 1024, 4, 32))
+        self.parallel = self.model.parallel_read()
+
+    def test_parallel_read_is_reference(self):
+        assert self.parallel == pytest.approx(1.0, abs=0.01)
+
+    def test_one_way_read(self):
+        assert self.model.one_way_read() / self.parallel == pytest.approx(0.21, abs=0.01)
+
+    def test_store_write(self):
+        assert self.model.store_write() / self.parallel == pytest.approx(0.24, abs=0.01)
+
+    def test_tag_array(self):
+        assert self.model.tag_all_read / self.parallel == pytest.approx(0.06, abs=0.005)
+
+    def test_prediction_table(self):
+        assert prediction_table_energy(1024, 4) == pytest.approx(0.007, abs=0.001)
+
+    def test_extra_probe_cheaper_than_parallel_gap(self):
+        # A misprediction reads two ways total: cheaper than parallel
+        # for associativity > 2 (paper section 2.1).
+        two_probe = self.model.one_way_read() + self.model.extra_probe()
+        assert two_probe < self.parallel
+
+    def test_n_way_read_monotone(self):
+        values = [self.model.n_way_read(w) for w in range(1, 5)]
+        assert values == sorted(values)
+        assert values[0] == pytest.approx(self.model.one_way_read())
+        assert values[-1] == pytest.approx(self.parallel)
+
+    def test_n_way_read_bounds(self):
+        with pytest.raises(ValueError):
+            self.model.n_way_read(0)
+        with pytest.raises(ValueError):
+            self.model.n_way_read(5)
+
+
+class TestScalingTrends:
+    """Figure 7/8 energy mechanics."""
+
+    def _ratio(self, size_kb, ways):
+        model = CactiLite().energy_model(CacheGeometry(size_kb * 1024, ways, 32))
+        return model.one_way_read() / model.parallel_read()
+
+    def test_savings_grow_with_associativity(self):
+        # one-way/parallel ratio shrinks as ways grow.
+        assert self._ratio(16, 2) > self._ratio(16, 4) > self._ratio(16, 8)
+
+    def test_savings_shrink_slightly_with_size(self):
+        # Paper: 32K savings a bit below 16K (tag/decode share grows).
+        r16, r32 = self._ratio(16, 4), self._ratio(32, 4)
+        assert r32 >= r16
+        assert r32 - r16 < 0.1
+
+    def test_absolute_energy_grows_with_size(self):
+        e16 = CactiLite().energy_model(CacheGeometry(16 * 1024, 4, 32)).parallel_read()
+        e32 = CactiLite().energy_model(CacheGeometry(32 * 1024, 4, 32)).parallel_read()
+        assert e32 > e16
+
+    def test_nanojoule_conversion_positive(self):
+        assert NANOJOULE_PER_REU > 0
+
+
+class TestTiming:
+    def test_sequential_slowdown_near_paper(self):
+        timing = CactiLite().timing_model(CacheGeometry(16 * 1024, 4, 32))
+        # Paper: "about 60%" slower; accept 40-80%.
+        assert 1.4 < timing.sequential_slowdown < 1.8
+
+    def test_xor_table_lookup_fraction(self):
+        ratio = CactiLite().table_vs_cache_time_ratio(1024, 4, CacheGeometry(16 * 1024, 4, 32))
+        # Paper: 48% of access time.
+        assert 0.35 < ratio < 0.6
+
+    def test_bigger_cache_slower(self):
+        t16 = CactiLite().timing_model(CacheGeometry(16 * 1024, 4, 32)).parallel_access_ns
+        t32 = CactiLite().timing_model(CacheGeometry(32 * 1024, 4, 32)).parallel_access_ns
+        assert t32 > t16
+
+
+class TestPredictionStructures:
+    def test_table_energy_monotone_in_size(self):
+        assert prediction_table_energy(2048, 4) > prediction_table_energy(1024, 4)
+
+    def test_cam_more_expensive_than_table(self):
+        assert cam_energy(16, 30) > prediction_table_energy(16, 30)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            prediction_table_energy(0, 4)
+        with pytest.raises(ValueError):
+            cam_energy(16, 0)
+
+    def test_overhead_below_one_percent_of_conventional(self):
+        """Paper section 3: prediction energy < 1% of d-cache energy."""
+        model = CactiLite().energy_model(CacheGeometry(16 * 1024, 4, 32))
+        overhead = PredictionStructureEnergy.build()
+        assert overhead.table_access < 0.01 * model.parallel_read()
+        assert overhead.victim_list_search < 0.01 * model.parallel_read()
+
+
+class TestLedger:
+    def test_accumulates(self):
+        ledger = EnergyLedger()
+        ledger.charge("a", 1.0)
+        ledger.charge("a", 0.5)
+        assert ledger.get("a") == pytest.approx(1.5)
+
+    def test_total_and_filter(self):
+        ledger = EnergyLedger()
+        ledger.charge("a", 1.0)
+        ledger.charge("b", 2.0)
+        assert ledger.total() == pytest.approx(3.0)
+        assert ledger.total(["a"]) == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().charge("a", -1.0)
+
+    def test_merge(self):
+        a, b = EnergyLedger(), EnergyLedger()
+        a.charge("x", 1.0)
+        b.charge("x", 2.0)
+        b.charge("y", 1.0)
+        a.merge(b)
+        assert a.get("x") == pytest.approx(3.0)
+        assert a.get("y") == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=10), max_size=50))
+    def test_total_equals_sum_of_charges(self, charges):
+        ledger = EnergyLedger()
+        for i, value in enumerate(charges):
+            ledger.charge(f"c{i % 3}", value)
+        assert ledger.total() == pytest.approx(sum(charges))
+
+
+class TestWattchLite:
+    def test_report_components_positive(self):
+        report = WattchLite().report(
+            cycles=1000, fetched_instrs=2000, fetch_cycles=900,
+            dispatched_instrs=2000, issued_instrs=1900, int_ops=1200,
+            fp_ops=100, mem_ops=600, committed_instrs=1900,
+            cache_energies={"l1_icache": 900.0, "l1_dcache": 700.0, "l2": 50.0},
+        )
+        assert report.total > 0
+        assert all(v >= 0 for v in report.components.values())
+
+    def test_cache_fraction_definition(self):
+        report = WattchLite().report(
+            cycles=100, fetched_instrs=0, fetch_cycles=0, dispatched_instrs=0,
+            issued_instrs=0, int_ops=0, fp_ops=0, mem_ops=0, committed_instrs=0,
+            cache_energies={"l1_icache": 50.0, "l1_dcache": 60.0},
+        )
+        expected = 110.0 / report.total
+        assert report.cache_fraction == pytest.approx(expected)
+
+    def test_energy_delay(self):
+        report = WattchLite().report(
+            cycles=10, fetched_instrs=10, fetch_cycles=10, dispatched_instrs=10,
+            issued_instrs=10, int_ops=10, fp_ops=0, mem_ops=0, committed_instrs=10,
+            cache_energies={},
+        )
+        assert report.energy_delay(10) == pytest.approx(report.total * 10)

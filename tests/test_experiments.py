@@ -1,0 +1,151 @@
+"""Experiment-harness tests: registry, rendering, and small-scale runs."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    MetricRow,
+    format_bar,
+    format_table,
+    mean_row,
+    settings_from_env,
+)
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    table3_rows,
+)
+
+SMALL = ExperimentSettings(instructions=6_000, benchmarks=("gcc", "swim"))
+
+
+class TestRegistry:
+    def test_all_thirteen_registered(self):
+        ids = list_experiments()
+        assert len(ids) == 13
+        for expected in ("table3", "table4", "table5", "fig4", "fig11"):
+            assert expected in ids
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+
+class TestSettings:
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        assert settings_from_env().instructions == 6_000
+
+    def test_env_benchmarks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCHMARKS", "gcc,swim")
+        assert settings_from_env().benchmarks == ("gcc", "swim")
+
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_BENCHMARKS", raising=False)
+        settings = settings_from_env()
+        assert settings.instructions == 60_000
+        assert len(settings.benchmarks) == 11
+
+
+class TestFormatting:
+    def test_table(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["33", "4"]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+
+    def test_bar(self):
+        assert format_bar(0.5, scale=10) == "#####"
+        assert format_bar(2.0, scale=10, maximum=1.0) == "#" * 10
+
+    def test_mean_row(self):
+        rows = [
+            MetricRow("a", "t", 0.4, 0.02, {"x": 1.0}),
+            MetricRow("b", "t", 0.6, 0.04, {"x": 3.0}),
+        ]
+        mean = mean_row(rows, "t")
+        assert mean.relative_energy_delay == pytest.approx(0.5)
+        assert mean.performance_degradation == pytest.approx(0.03)
+        assert mean.extras["x"] == pytest.approx(2.0)
+
+
+class TestStaticTables:
+    def test_table1_contents(self):
+        text = render_table1()
+        assert "Reorder buffer size" in text and "64" in text
+
+    def test_table2_contents(self):
+        assert "swim" in render_table2()
+
+    def test_table3_matches_paper(self):
+        for row in table3_rows():
+            assert row.measured == pytest.approx(row.paper, abs=0.012)
+        assert "0.21" in render_table3()
+
+
+class TestSmallExperiments:
+    """End-to-end runs at tiny scale (2 benchmarks, 6k instructions)."""
+
+    def test_fig04(self):
+        from repro.experiments import fig04_sequential
+
+        results = fig04_sequential.run(SMALL)
+        mean = results["Sequential"][-1]
+        assert mean.relative_energy_delay < 0.6
+        assert "Figure 4" in fig04_sequential.render(SMALL)
+
+    def test_fig05(self):
+        from repro.experiments import fig05_waypred
+
+        results = fig05_waypred.run(SMALL)
+        assert set(results) == {"PC-based", "XOR-based"}
+        assert 0.3 < fig05_waypred.xor_timing_ratio() < 0.7
+
+    def test_fig06_breakdown_sums_to_one(self):
+        from repro.experiments import fig06_selective_dm
+
+        results = fig06_selective_dm.run(SMALL)
+        row = results["Sel-DM+Waypred"][0]
+        total = sum(v for k, v in row.extras.items() if k.startswith("kind_"))
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_fig10(self):
+        from repro.experiments import fig10_icache
+
+        results = fig10_icache.run(SMALL)
+        assert results["4-way"][-1].extras["prediction_accuracy"] > 0.8
+
+    def test_fig11(self):
+        from repro.experiments import fig11_processor
+
+        results = fig11_processor.run(SMALL)
+        assert results["Combined"][-1].extras["relative_energy"] < 1.0
+
+    def test_table5(self):
+        from repro.experiments import table5
+
+        rows = table5.run(SMALL)
+        assert len(rows) == 6
+        assert all(r.ed_savings_pct > 30 for r in rows)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["--list"]) == 0
+        assert "fig11" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig99"]) == 2
+
+    def test_runs_table3(self, capsys):
+        from repro.cli import main
+
+        assert main(["table3"]) == 0
+        assert "0.21" in capsys.readouterr().out

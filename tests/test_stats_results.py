@@ -1,0 +1,100 @@
+"""CacheStats / CoreStats / SimResult derived-metric tests."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.cpu.stats import CoreStats
+from repro.sim.results import SimResult
+
+
+class TestCacheStats:
+    def test_empty_safe(self):
+        stats = CacheStats()
+        assert stats.miss_rate == 0.0
+        assert stats.prediction_accuracy == 0.0
+        assert stats.kind_fraction("parallel") == 0.0
+
+    def test_derived_counts(self):
+        stats = CacheStats(loads=10, stores=5, load_hits=8, store_hits=5)
+        assert stats.accesses == 15
+        assert stats.hits == 13
+        assert stats.misses == 2
+        assert stats.load_misses == 2
+        assert stats.miss_rate == pytest.approx(2 / 15)
+        assert stats.load_miss_rate == pytest.approx(0.2)
+
+    def test_kind_counting(self):
+        stats = CacheStats()
+        stats.count_kind("parallel", 3)
+        stats.count_kind("sequential")
+        assert stats.kind_fraction("parallel") == pytest.approx(0.75)
+
+    def test_merge(self):
+        a = CacheStats(loads=1, load_hits=1)
+        a.count_kind("parallel")
+        b = CacheStats(loads=2, load_hits=1, second_probes=1)
+        b.count_kind("parallel", 2)
+        a.merge(b)
+        assert a.loads == 3
+        assert a.load_hits == 2
+        assert a.second_probes == 1
+        assert a.access_kinds["parallel"] == 3
+
+
+class TestCoreStats:
+    def test_ipc(self):
+        stats = CoreStats(cycles=100, committed=250)
+        assert stats.ipc == pytest.approx(2.5)
+
+    def test_branch_accuracy(self):
+        stats = CoreStats(branches=100, branch_mispredicts=8)
+        assert stats.branch_accuracy == pytest.approx(0.92)
+
+    def test_mem_ops(self):
+        stats = CoreStats(loads=10, stores=4)
+        assert stats.mem_ops == 14
+
+    def test_zero_safe(self):
+        stats = CoreStats()
+        assert stats.ipc == 0.0
+        assert stats.branch_accuracy == 1.0
+
+
+class TestSimResult:
+    def _result(self, **kwargs):
+        defaults = dict(
+            benchmark="x", config_key="k", instructions=100, cycles=50, committed=100
+        )
+        defaults.update(kwargs)
+        return SimResult(**defaults)
+
+    def test_ipc(self):
+        assert self._result().ipc == pytest.approx(2.0)
+
+    def test_dcache_rates(self):
+        result = self._result(
+            dcache_loads=10, dcache_stores=10, dcache_misses=4, dcache_load_misses=3
+        )
+        assert result.dcache_miss_rate == pytest.approx(0.2)
+        assert result.dcache_load_miss_rate == pytest.approx(0.3)
+
+    def test_energy_includes_prediction_overhead(self):
+        result = self._result(
+            energy={"l1_dcache": 10.0, "prediction_dcache": 0.5,
+                    "l1_icache": 8.0, "prediction_icache": 0.25}
+        )
+        assert result.dcache_energy == pytest.approx(10.5)
+        assert result.icache_energy == pytest.approx(8.25)
+
+    def test_processor_energy_sums_components(self):
+        result = self._result(processor_components={"clock": 5.0, "alu": 2.0})
+        assert result.processor_energy == pytest.approx(7.0)
+
+    def test_kind_fractions(self):
+        result = self._result(dcache_kinds={"parallel": 3, "mispredicted": 1})
+        assert result.dcache_kind_fraction("parallel") == pytest.approx(0.75)
+        assert result.dcache_kind_fraction("sequential") == 0.0
+
+    def test_prediction_accuracy(self):
+        result = self._result(dcache_predictions=10, dcache_correct_predictions=7)
+        assert result.dcache_prediction_accuracy == pytest.approx(0.7)
