@@ -5,10 +5,10 @@ from conftest import run_once
 from repro.experiments import fig04_sequential
 
 
-def test_fig04(benchmark, settings):
+def test_fig04(benchmark, settings, engine):
     """Sequential access: large E-D savings, visible slowdown."""
-    results = run_once(benchmark, fig04_sequential.run, settings)
-    print("\n" + fig04_sequential.render(settings))
+    results = run_once(benchmark, fig04_sequential.run, settings, engine)
+    print("\n" + fig04_sequential.render(settings, engine))
     mean = results["Sequential"][-1]
     # Paper: 68% mean E-D savings; shape check: >50%.
     assert mean.relative_energy_delay < 0.5

@@ -5,11 +5,11 @@ from conftest import run_once
 from repro.experiments import fig05_waypred
 
 
-def test_fig05(benchmark, settings):
+def test_fig05(benchmark, settings, engine):
     """XOR beats PC on accuracy; both save >50% E-D; XOR has the timing
     problem (table lookup a large fraction of cache access time)."""
-    results = run_once(benchmark, fig05_waypred.run, settings)
-    print("\n" + fig05_waypred.render(settings))
+    results = run_once(benchmark, fig05_waypred.run, settings, engine)
+    print("\n" + fig05_waypred.render(settings, engine))
     pc_mean = results["PC-based"][-1]
     xor_mean = results["XOR-based"][-1]
     assert pc_mean.relative_energy_delay < 0.5

@@ -5,7 +5,7 @@ from conftest import run_once
 from repro.experiments import fig06_selective_dm
 
 
-def test_fig06(benchmark, settings):
+def test_fig06(benchmark, settings, engine):
     """Sel-DM's key properties:
 
     * most reads probe only the direct-mapping way;
@@ -13,8 +13,8 @@ def test_fig06(benchmark, settings):
       with far less slowdown than the all-sequential cache;
     * sel-DM+parallel saves the least of the three variants.
     """
-    results = run_once(benchmark, fig06_selective_dm.run, settings)
-    print("\n" + fig06_selective_dm.render(settings))
+    results = run_once(benchmark, fig06_selective_dm.run, settings, engine)
+    print("\n" + fig06_selective_dm.render(settings, engine))
     means = {label: rows[-1] for label, rows in results.items()}
 
     # Majority of reads are direct-mapped (paper: ~77% mean).

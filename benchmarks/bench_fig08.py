@@ -5,10 +5,10 @@ from conftest import run_once
 from repro.experiments import fig08_associativity
 
 
-def test_fig08(benchmark, settings):
+def test_fig08(benchmark, settings, engine):
     """Savings grow with associativity (paper: 38% / 69% / 82%)."""
-    results = run_once(benchmark, fig08_associativity.run, settings)
-    print("\n" + fig08_associativity.render(settings))
+    results = run_once(benchmark, fig08_associativity.run, settings, engine)
+    print("\n" + fig08_associativity.render(settings, engine))
     ed2 = results["2-way"][-1].relative_energy_delay
     ed4 = results["4-way"][-1].relative_energy_delay
     ed8 = results["8-way"][-1].relative_energy_delay

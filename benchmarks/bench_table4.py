@@ -5,11 +5,11 @@ from conftest import run_once
 from repro.experiments.tables import render_table4, table4_rows
 
 
-def test_table4(benchmark, settings):
+def test_table4(benchmark, settings, engine):
     """DM rates exceed 4-way rates (except swim) and 4-way rates track
     the paper's column."""
-    rows = run_once(benchmark, table4_rows, settings)
-    print("\n" + render_table4(settings))
+    rows = run_once(benchmark, table4_rows, settings, engine)
+    print("\n" + render_table4(settings, engine))
     for row in rows:
         if row.benchmark != "swim":
             # The gap selective-DM exploits: DM misses more than 4-way.

@@ -5,12 +5,12 @@ from conftest import run_once
 from repro.experiments import table5
 
 
-def test_table5(benchmark, settings):
+def test_table5(benchmark, settings, engine):
     """The paper's bottom line: sel-DM+waypred and sel-DM+sequential give
     the best energy-delay; sel-DM+parallel saves least; sequential's
     performance cost is the largest."""
-    rows = run_once(benchmark, table5.run, settings)
-    print("\n" + table5.render(settings))
+    rows = run_once(benchmark, table5.run, settings, engine)
+    print("\n" + table5.render(settings, engine))
     by_name = {r.technique: r for r in rows}
     best = by_name["Sel-DM + sequential access"]
     assert best.ed_savings_pct > by_name["Sel-DM + parallel access"].ed_savings_pct

@@ -2,18 +2,26 @@
 
 Benches regenerate the paper's tables/figures; they use small synthetic
 traces (scale with ``REPRO_SCALE``) and the on-disk result cache, so the
-second run of the suite is fast.
+second run of the suite is fast.  Set ``REPRO_JOBS=N`` to fan each
+experiment's run grid over N worker processes.
 """
 
 import pytest
 
 from repro.experiments.common import settings_from_env
+from repro.sweep.engine import SweepEngine, default_jobs
 
 
 @pytest.fixture(scope="session")
 def settings():
     """Shared experiment settings (env-driven)."""
     return settings_from_env()
+
+
+@pytest.fixture(scope="session")
+def engine():
+    """Shared sweep engine honoring ``REPRO_JOBS``."""
+    return SweepEngine(jobs=default_jobs())
 
 
 def run_once(benchmark, func, *args, **kwargs):

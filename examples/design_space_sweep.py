@@ -1,45 +1,74 @@
 #!/usr/bin/env python3
 """Design-space sweep: size x associativity x latency for sel-DM+waypred.
 
-Extends the paper's Figures 7-9 into one grid, demonstrating the public
-sweep API: every point is one (baseline, technique) pair normalized
-within itself, so the numbers answer "what would this cache shape gain
-from the techniques?".
+Extends the paper's Figures 7-9 into one grid using the declarative
+sweep API: the whole grid is named up front as DesignPoints, executed in
+one engine pass (``--jobs N`` fans it over N worker processes), and
+reduced to per-point means.  Every point is one (baseline, technique)
+pair normalized within itself, so the numbers answer "what would this
+cache shape gain from the techniques?".
+
+The same sweep is available without code from the CLI::
+
+    repro-experiment sweep --benchmarks gcc,go,mgrid,swim \
+        --sizes 16,32 --ways 2,4,8 --latencies 1,2 \
+        --policies seldm_waypred --instructions 25000 --jobs 4
 """
 
-from repro import SystemConfig, run_benchmark
-from repro.sim.results import performance_degradation, relative_energy_delay
-from repro.utils.statsutil import arithmetic_mean
+import argparse
+
+from repro import SystemConfig
+from repro.sweep import DesignPoint, SweepEngine, design_space_spec, summarize
 
 BENCHMARKS = ("gcc", "go", "mgrid", "swim")
 INSTRUCTIONS = 25_000
 
 
-def point(size_kb: int, ways: int, latency: int) -> tuple:
-    """Mean (relative E-D, perf degradation) for one cache shape."""
-    baseline = SystemConfig().with_dcache(
-        size_kb=size_kb, associativity=ways, latency=latency
-    )
-    technique = baseline.with_dcache_policy("seldm_waypred")
-    eds, perfs = [], []
-    for bench in BENCHMARKS:
-        base = run_benchmark(bench, baseline, INSTRUCTIONS)
-        tech = run_benchmark(bench, technique, INSTRUCTIONS)
-        eds.append(relative_energy_delay(tech, base, "dcache"))
-        perfs.append(performance_degradation(tech, base))
-    return arithmetic_mean(eds), arithmetic_mean(perfs)
+def design_points() -> list:
+    """One DesignPoint per cache shape, sel-DM+waypred vs parallel."""
+    points = []
+    for size_kb in (16, 32):
+        for ways in (2, 4, 8):
+            for latency in (1, 2):
+                baseline = SystemConfig().with_dcache(
+                    size_kb=size_kb, associativity=ways, latency=latency
+                )
+                points.append(
+                    DesignPoint(
+                        label=f"{size_kb}K {ways}-way {latency}cyc",
+                        technique=baseline.with_dcache_policy("seldm_waypred"),
+                        baseline=baseline,
+                    )
+                )
+    return points
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default: 1)")
+    args = parser.parse_args()
+
+    points = design_points()
+    engine = SweepEngine(jobs=args.jobs)
+    spec = design_space_spec(points, BENCHMARKS, INSTRUCTIONS, name="design-space")
+    sweep = engine.run(spec)
+    summaries = summarize(sweep, points, BENCHMARKS, INSTRUCTIONS)
+
     print(f"sel-DM+waypred over {', '.join(BENCHMARKS)}  (E-D | perf%)")
     print(f"{'shape':16s} {'1-cycle':>16s} {'2-cycle':>16s}")
+    by_label = {summary.label: summary for summary in summaries}
     for size_kb in (16, 32):
         for ways in (2, 4, 8):
             cells = []
             for latency in (1, 2):
-                ed, perf = point(size_kb, ways, latency)
-                cells.append(f"{ed:.3f} | {perf * 100:+.1f}")
+                summary = by_label[f"{size_kb}K {ways}-way {latency}cyc"]
+                cells.append(
+                    f"{summary.relative_energy_delay:.3f} | "
+                    f"{summary.performance_degradation * 100:+.1f}"
+                )
             print(f"{size_kb}K {ways}-way       {cells[0]:>16s} {cells[1]:>16s}")
+    print(f"\n[{sweep.stats.describe()}]")
 
 
 if __name__ == "__main__":

@@ -23,7 +23,18 @@ Subpackages:
 * ``repro.workload``   — synthetic SPEC-like trace generation.
 * ``repro.cpu``        — trace-driven out-of-order core.
 * ``repro.sim``        — configs, simulator, cached runner.
+* ``repro.sweep``      — declarative run grids with parallel execution.
 * ``repro.experiments``— one module per paper table/figure.
+
+Sweeping many points at once::
+
+    from repro import RunSpec, SweepEngine, SweepSpec
+
+    spec = SweepSpec.from_grid(
+        "demo", ("gcc", "swim"), (baseline, technique), 50_000
+    )
+    sweep = SweepEngine(jobs=4).run(spec)       # process-parallel
+    tech, base = sweep.pair("gcc", technique, baseline, 50_000)
 """
 
 from repro.sim.config import CacheLevelConfig, SystemConfig, paper_baseline
@@ -35,15 +46,22 @@ from repro.sim.results import (
 )
 from repro.sim.runner import run_benchmark
 from repro.sim.simulator import Simulator
+from repro.sweep.engine import SweepEngine
+from repro.sweep.result import SweepResult
+from repro.sweep.spec import RunSpec, SweepSpec
 from repro.workload.generator import generate_trace
 from repro.workload.profiles import benchmark_names, get_profile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CacheLevelConfig",
+    "RunSpec",
     "SimResult",
     "Simulator",
+    "SweepEngine",
+    "SweepResult",
+    "SweepSpec",
     "SystemConfig",
     "benchmark_names",
     "generate_trace",

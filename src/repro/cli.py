@@ -1,23 +1,62 @@
-"""Command-line entry point: ``repro-experiment <id> [...]``."""
+"""Command-line entry point: ``repro-experiment``.
+
+Two modes:
+
+* ``repro-experiment [IDS...] [--jobs N] [--json]`` — regenerate the
+  paper's tables/figures, fanning each experiment's run grid over N
+  worker processes.  Reports are byte-identical for any ``--jobs``
+  value because results are keyed by run spec, never completion order.
+* ``repro-experiment sweep [grid options]`` — run an ad-hoc design-space
+  grid (size x ways x latency x policy, each point normalized against
+  the parallel baseline of the same shape) without writing code.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
 
-from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.common import settings_from_env
+from repro.experiments.registry import (
+    experiment_json,
+    get_experiment,
+    list_experiments,
+)
+from repro.sim.config import SystemConfig
+from repro.sweep.analyze import (
+    DesignPoint,
+    design_space_spec,
+    render_summaries,
+    summarize,
+)
+from repro.sweep.engine import SweepEngine, default_jobs
+from repro.workload.profiles import benchmark_names
+
+
+def _int_list(raw: str) -> List[int]:
+    return [int(part) for part in raw.split(",") if part]
+
+
+def _str_list(raw: str) -> List[str]:
+    return [part for part in raw.split(",") if part]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Run one or more experiments and print their reports."""
+    """Run experiments or an ad-hoc sweep and print the reports."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description=(
             "Regenerate tables/figures from 'Reducing Set-Associative Cache "
             "Energy via Way-Prediction and Selective Direct-Mapping' "
-            "(Powell et al., MICRO 2001)."
+            "(Powell et al., MICRO 2001).  Use the 'sweep' subcommand for "
+            "ad-hoc design-space grids."
         ),
     )
     parser.add_argument(
@@ -27,6 +66,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=f"experiment ids (default: all). Valid: {', '.join(list_experiments())}",
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per experiment grid (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON array of experiment documents instead of ASCII",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -34,16 +85,170 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(experiment_id)
         return 0
 
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    try:
+        engine = SweepEngine(jobs=jobs)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    settings = settings_from_env()
+
     ids = args.experiments or list_experiments()
-    for experiment_id in ids:
-        try:
-            renderer = get_experiment(experiment_id)
-        except KeyError as error:
-            print(error, file=sys.stderr)
-            return 2
+    try:
+        experiments = [get_experiment(experiment_id) for experiment_id in ids]
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+
+    if args.json:
+        documents = [
+            experiment_json(experiment.experiment_id, settings, engine)
+            for experiment in experiments
+        ]
+        print(json.dumps(documents, indent=2, sort_keys=True))
+        return 0
+
+    for experiment in experiments:
         started = time.time()
-        print(renderer())
-        print(f"[{experiment_id} done in {time.time() - started:.1f}s]\n")
+        print(experiment.render(settings, engine))
+        print(f"[{experiment.experiment_id} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+def sweep_main(argv: List[str]) -> int:
+    """The ``sweep`` subcommand: ad-hoc d-cache design-space grids."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment sweep",
+        description=(
+            "Run an ad-hoc design-space sweep: every (size, ways, latency, "
+            "policy) point is simulated against the parallel-access baseline "
+            "of the same shape and summarized as mean relative energy-delay "
+            "and performance degradation."
+        ),
+    )
+    parser.add_argument(
+        "--benchmarks",
+        type=_str_list,
+        default=None,
+        metavar="A,B,...",
+        help="applications to average over (default: all eleven)",
+    )
+    parser.add_argument("--sizes", type=_int_list, default=[16], metavar="KB,...",
+                        help="d-cache sizes in KB (default: 16)")
+    parser.add_argument("--ways", type=_int_list, default=[4], metavar="N,...",
+                        help="d-cache associativities (default: 4)")
+    parser.add_argument("--latencies", type=_int_list, default=[1], metavar="CYC,...",
+                        help="d-cache latencies in cycles (default: 1)")
+    parser.add_argument(
+        "--policies",
+        type=_str_list,
+        default=["seldm_waypred"],
+        metavar="P,...",
+        help="d-cache policies to evaluate (default: seldm_waypred)",
+    )
+    parser.add_argument(
+        "--baseline-policy",
+        default="parallel",
+        metavar="P",
+        help="policy every point is normalized against (default: parallel)",
+    )
+    parser.add_argument("--instructions", type=int, default=25_000, metavar="N",
+                        help="dynamic instructions per run (default: 25000)")
+    parser.add_argument("--salt", type=int, default=0, metavar="S",
+                        help="trace-generation salt (default: 0)")
+    parser.add_argument(
+        "--component",
+        default="dcache",
+        choices=("dcache", "icache", "processor"),
+        help="energy component for the E-D metric (default: dcache)",
+    )
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: $REPRO_JOBS or 1)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary (and per-benchmark detail) as JSON")
+    args = parser.parse_args(argv)
+
+    if args.benchmarks is not None and not args.benchmarks:
+        print("--benchmarks given but empty: nothing to sweep", file=sys.stderr)
+        return 2
+    benchmarks = args.benchmarks or list(benchmark_names())
+    unknown = [name for name in benchmarks if name not in benchmark_names()]
+    if unknown:
+        print(
+            f"unknown benchmark(s) {unknown}; valid: {list(benchmark_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        points = [
+            DesignPoint(
+                label=f"{size_kb}K/{ways}w/{latency}cyc {policy}",
+                technique=SystemConfig()
+                .with_dcache(size_kb=size_kb, associativity=ways, latency=latency)
+                .with_dcache_policy(policy),
+                baseline=SystemConfig()
+                .with_dcache(size_kb=size_kb, associativity=ways, latency=latency)
+                .with_dcache_policy(args.baseline_policy),
+            )
+            for size_kb in args.sizes
+            for ways in args.ways
+            for latency in args.latencies
+            for policy in args.policies
+        ]
+        # Geometry constraints (power-of-two shapes, block fit) surface
+        # only when a cache is built; validate before burning sim time.
+        for point in points:
+            point.technique.dcache.geometry()
+            point.baseline.dcache.geometry()
+    except ValueError as error:  # unknown policy kind, bad shape
+        print(error, file=sys.stderr)
+        return 2
+    if not points:
+        print("empty grid: nothing to sweep", file=sys.stderr)
+        return 2
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    try:
+        engine = SweepEngine(jobs=jobs)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        spec = design_space_spec(points, benchmarks, args.instructions, args.salt,
+                                 name="adhoc-sweep")
+        sweep = engine.run(spec)
+    except (ValueError, KeyError) as error:  # bad instructions, engine errors
+        print(error, file=sys.stderr)
+        return 2
+    summaries = summarize(
+        sweep, points, benchmarks, args.instructions, args.component, args.salt
+    )
+
+    if args.json:
+        document = {
+            "sweep": spec.name,
+            "component": args.component,
+            "benchmarks": list(benchmarks),
+            "instructions": args.instructions,
+            "salt": args.salt,
+            "points": [
+                {
+                    "label": summary.label,
+                    "relative_energy_delay": summary.relative_energy_delay,
+                    "performance_degradation": summary.performance_degradation,
+                    "per_benchmark": summary.per_benchmark,
+                }
+                for summary in summaries
+            ],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        title = (
+            f"Design-space sweep over {', '.join(benchmarks)} "
+            f"({args.component} E-D vs {args.baseline_policy} baseline)"
+        )
+        print(render_summaries(summaries, title))
+        print(f"[{sweep.stats.describe()}]", file=sys.stderr)
     return 0
 
 

@@ -4,13 +4,26 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
-from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
-from repro.sim.runner import run_benchmark
 from repro.utils.statsutil import arithmetic_mean
+from repro.utils.text import format_bar, format_table
 from repro.workload.profiles import benchmark_names
+
+# ``format_table``/``format_bar`` live in ``repro.utils.text`` (the sweep
+# layer renders too); re-exported here for the experiment modules.
+__all__ = [
+    "DEFAULT_INSTRUCTIONS",
+    "ExperimentSettings",
+    "MetricRow",
+    "benchmark_list",
+    "format_bar",
+    "format_table",
+    "kind_breakdown",
+    "mean_row",
+    "settings_from_env",
+]
 
 #: Default dynamic instructions per run; scaled by ``REPRO_SCALE``.
 DEFAULT_INSTRUCTIONS = 60_000
@@ -47,18 +60,6 @@ def benchmark_list(settings: Optional[ExperimentSettings] = None) -> Sequence[st
     return (settings or settings_from_env()).benchmarks
 
 
-def run_pair(
-    benchmark: str,
-    technique: SystemConfig,
-    baseline: SystemConfig,
-    settings: ExperimentSettings,
-) -> tuple:
-    """Run technique and baseline for one application (both memoized)."""
-    base_result = run_benchmark(benchmark, baseline, settings.instructions)
-    tech_result = run_benchmark(benchmark, technique, settings.instructions)
-    return tech_result, base_result
-
-
 @dataclass
 class MetricRow:
     """One application's relative metrics for one technique."""
@@ -84,33 +85,6 @@ def mean_row(rows: Iterable[MetricRow], technique: str) -> MetricRow:
         performance_degradation=arithmetic_mean(r.performance_degradation for r in rows),
         extras=extras,
     )
-
-
-# ---------------------------------------------------------------------- #
-# ASCII rendering
-# ---------------------------------------------------------------------- #
-
-
-def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
-    """Render a plain ASCII table."""
-    widths = [len(h) for h in headers]
-    for row in rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines = []
-    if title:
-        lines.append(title)
-    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
-    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
-    for row in rows:
-        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
-    return "\n".join(lines)
-
-
-def format_bar(value: float, scale: float = 40.0, maximum: float = 1.0) -> str:
-    """Render a value as a text bar (the figures' visual analogue)."""
-    filled = int(round(min(value, maximum) / maximum * scale))
-    return "#" * filled
 
 
 def kind_breakdown(result: SimResult, kinds: Sequence[str], icache: bool = False) -> Dict[str, float]:

@@ -1,10 +1,20 @@
-"""Shared d-cache experiment driver used by Figures 4-9."""
+"""Shared comparison driver used by every figure (4-11) and Table 5.
+
+Experiments *declare* their grids as :class:`Comparison` triples —
+(label, technique config, baseline config) — which expand to a
+:class:`~repro.sweep.spec.SweepSpec` and reduce from an executed
+:class:`~repro.sweep.result.SweepResult` into the familiar
+``Dict[label, List[MetricRow]]`` shape.  All scheduling (parallelism,
+caching, accounting) happens inside the engine, so every experiment
+gains ``--jobs`` for free and renders byte-identically at any job
+count.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.kinds import DCACHE_KINDS
+from repro.core.kinds import DCACHE_KINDS, ICACHE_KINDS
 from repro.experiments.common import (
     ExperimentSettings,
     MetricRow,
@@ -15,10 +25,107 @@ from repro.experiments.common import (
 )
 from repro.sim.config import SystemConfig
 from repro.sim.results import (
+    SimResult,
     performance_degradation,
+    relative_energy,
     relative_energy_delay,
 )
-from repro.sim.runner import run_benchmark
+from repro.sweep.engine import SweepEngine, default_engine
+from repro.sweep.result import SweepResult
+from repro.sweep.spec import SweepSpec
+
+#: One comparison: (label, technique config, baseline config).
+Comparison = Tuple[str, SystemConfig, SystemConfig]
+
+
+def comparison_spec(
+    comparisons: Sequence[Comparison],
+    settings: Optional[ExperimentSettings] = None,
+    name: str = "comparison",
+) -> SweepSpec:
+    """Declare the grid covering every comparison's two configs.
+
+    Shared baselines across comparisons de-duplicate inside the spec, so
+    e.g. Figure 6's five techniques against one parallel baseline cost
+    six configurations per application, not ten.
+    """
+    settings = settings or settings_from_env()
+    configs: List[SystemConfig] = []
+    for _label, technique, baseline in comparisons:
+        configs.append(baseline)
+        configs.append(technique)
+    return SweepSpec.from_grid(
+        name, settings.benchmarks, configs, settings.instructions
+    )
+
+
+def _extras(technique: SimResult, baseline: SimResult, component: str) -> Dict[str, float]:
+    """Per-component extra metrics the figures' bottom graphs use."""
+    if component == "dcache":
+        extras = {
+            "prediction_accuracy": technique.dcache_prediction_accuracy,
+            "miss_rate": technique.dcache_miss_rate,
+        }
+        extras.update(
+            {f"kind_{k}": v for k, v in kind_breakdown(technique, DCACHE_KINDS).items()}
+        )
+        return extras
+    if component == "icache":
+        extras = {
+            "prediction_accuracy": technique.icache_prediction_accuracy,
+            "miss_rate": technique.icache_miss_rate,
+        }
+        extras.update(
+            {f"kind_{k}": v
+             for k, v in kind_breakdown(technique, ICACHE_KINDS, icache=True).items()}
+        )
+        return extras
+    # processor: Figure 11's overall energy view
+    return {
+        "relative_energy": relative_energy(technique, baseline, "processor"),
+        "cache_fraction": baseline.cache_fraction_of_processor,
+    }
+
+
+def comparison_rows(
+    sweep: SweepResult,
+    comparisons: Sequence[Comparison],
+    settings: Optional[ExperimentSettings] = None,
+    component: str = "dcache",
+) -> Dict[str, List[MetricRow]]:
+    """Reduce an executed sweep to per-technique row lists (+ MEAN row)."""
+    settings = settings or settings_from_env()
+    out: Dict[str, List[MetricRow]] = {}
+    for label, technique, baseline in comparisons:
+        rows: List[MetricRow] = []
+        for bench in settings.benchmarks:
+            tech, base = sweep.pair(bench, technique, baseline, settings.instructions)
+            rows.append(
+                MetricRow(
+                    benchmark=bench,
+                    technique=label,
+                    relative_energy_delay=relative_energy_delay(tech, base, component),
+                    performance_degradation=performance_degradation(tech, base),
+                    extras=_extras(tech, base, component),
+                )
+            )
+        rows.append(mean_row(rows, label))
+        out[label] = rows
+    return out
+
+
+def run_comparison(
+    comparisons: Sequence[Comparison],
+    settings: Optional[ExperimentSettings] = None,
+    component: str = "dcache",
+    engine: Optional[SweepEngine] = None,
+    name: str = "comparison",
+) -> Dict[str, List[MetricRow]]:
+    """Declare, execute, and reduce a comparison grid in one call."""
+    settings = settings or settings_from_env()
+    engine = engine or default_engine()
+    sweep = engine.run(comparison_spec(comparisons, settings, name))
+    return comparison_rows(sweep, comparisons, settings, component)
 
 
 def run_dcache_comparison(
@@ -26,8 +133,9 @@ def run_dcache_comparison(
     baseline: SystemConfig,
     settings: Optional[ExperimentSettings] = None,
     component: str = "dcache",
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, List[MetricRow]]:
-    """Run each technique against the baseline over all applications.
+    """Back-compat shim: techniques against one shared baseline.
 
     Returns:
         Mapping from technique label to per-application rows followed by
@@ -35,32 +143,8 @@ def run_dcache_comparison(
         access-kind breakdown fractions used by the figures' bottom
         graphs.
     """
-    settings = settings or settings_from_env()
-    out: Dict[str, List[MetricRow]] = {}
-    for label, config in techniques:
-        rows: List[MetricRow] = []
-        for bench in settings.benchmarks:
-            base = run_benchmark(bench, baseline, settings.instructions)
-            tech = run_benchmark(bench, config, settings.instructions)
-            extras = {
-                "prediction_accuracy": tech.dcache_prediction_accuracy,
-                "miss_rate": tech.dcache_miss_rate,
-            }
-            extras.update(
-                {f"kind_{k}": v for k, v in kind_breakdown(tech, DCACHE_KINDS).items()}
-            )
-            rows.append(
-                MetricRow(
-                    benchmark=bench,
-                    technique=label,
-                    relative_energy_delay=relative_energy_delay(tech, base, component),
-                    performance_degradation=performance_degradation(tech, base),
-                    extras=extras,
-                )
-            )
-        rows.append(mean_row(rows, label))
-        out[label] = rows
-    return out
+    comparisons = [(label, config, baseline) for label, config in techniques]
+    return run_comparison(comparisons, settings, component, engine)
 
 
 def render_comparison(

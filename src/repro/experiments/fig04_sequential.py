@@ -9,25 +9,43 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.experiments.common import ExperimentSettings, MetricRow, settings_from_env
-from repro.experiments.dcache import render_comparison, run_dcache_comparison
+from repro.experiments.common import ExperimentSettings, MetricRow
+from repro.experiments.dcache import (
+    Comparison,
+    comparison_spec,
+    render_comparison,
+    run_comparison,
+)
 from repro.sim.config import SystemConfig
+from repro.sweep.engine import SweepEngine
+from repro.sweep.spec import SweepSpec
 
 
-def run(settings: Optional[ExperimentSettings] = None) -> Dict[str, List[MetricRow]]:
+def comparisons() -> List[Comparison]:
     """Sequential access vs the 1-cycle parallel baseline."""
-    settings = settings or settings_from_env()
     baseline = SystemConfig()
-    return run_dcache_comparison(
-        [("Sequential", baseline.with_dcache_policy("sequential"))],
-        baseline,
-        settings,
-    )
+    return [("Sequential", baseline.with_dcache_policy("sequential"), baseline)]
 
 
-def render(settings: Optional[ExperimentSettings] = None) -> str:
+def sweep_spec(settings: Optional[ExperimentSettings] = None) -> SweepSpec:
+    """The figure's full run grid."""
+    return comparison_spec(comparisons(), settings, name="fig4")
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, List[MetricRow]]:
+    """Execute the grid and reduce to per-application rows."""
+    return run_comparison(comparisons(), settings, engine=engine, name="fig4")
+
+
+def render(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> str:
     """ASCII analogue of Figure 4."""
     return render_comparison(
-        run(settings),
+        run(settings, engine),
         "Figure 4: Sequential-access cache relative energy-delay / performance degradation",
     )

@@ -13,23 +13,38 @@ from typing import Dict, List, Optional
 
 from repro.cache.geometry import CacheGeometry
 from repro.energy.cactilite import CactiLite
-from repro.experiments.common import ExperimentSettings, MetricRow, settings_from_env
-from repro.experiments.dcache import render_comparison, run_dcache_comparison
+from repro.experiments.common import ExperimentSettings, MetricRow
+from repro.experiments.dcache import (
+    Comparison,
+    comparison_spec,
+    render_comparison,
+    run_comparison,
+)
 from repro.sim.config import SystemConfig
+from repro.sweep.engine import SweepEngine
+from repro.sweep.spec import SweepSpec
 
 
-def run(settings: Optional[ExperimentSettings] = None) -> Dict[str, List[MetricRow]]:
+def comparisons() -> List[Comparison]:
     """PC- and XOR-based way prediction vs the parallel baseline."""
-    settings = settings or settings_from_env()
     baseline = SystemConfig()
-    return run_dcache_comparison(
-        [
-            ("PC-based", baseline.with_dcache_policy("waypred_pc")),
-            ("XOR-based", baseline.with_dcache_policy("waypred_xor")),
-        ],
-        baseline,
-        settings,
-    )
+    return [
+        ("PC-based", baseline.with_dcache_policy("waypred_pc"), baseline),
+        ("XOR-based", baseline.with_dcache_policy("waypred_xor"), baseline),
+    ]
+
+
+def sweep_spec(settings: Optional[ExperimentSettings] = None) -> SweepSpec:
+    """The figure's full run grid."""
+    return comparison_spec(comparisons(), settings, name="fig5")
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, List[MetricRow]]:
+    """Execute the grid and reduce to per-application rows."""
+    return run_comparison(comparisons(), settings, engine=engine, name="fig5")
 
 
 def xor_timing_ratio() -> float:
@@ -38,10 +53,13 @@ def xor_timing_ratio() -> float:
     return CactiLite().table_vs_cache_time_ratio(1024, 4, CacheGeometry(16 * 1024, 4, 32))
 
 
-def render(settings: Optional[ExperimentSettings] = None) -> str:
+def render(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> str:
     """ASCII analogue of Figure 5 (plus the timing-constraint note)."""
     text = render_comparison(
-        run(settings),
+        run(settings, engine),
         "Figure 5: PC- and XOR-based way-prediction",
         show_accuracy=True,
     )

@@ -11,32 +11,50 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.experiments.common import ExperimentSettings, MetricRow, settings_from_env
-from repro.experiments.dcache import render_comparison, run_dcache_comparison
+from repro.experiments.common import ExperimentSettings, MetricRow
+from repro.experiments.dcache import (
+    Comparison,
+    comparison_spec,
+    render_comparison,
+    run_comparison,
+)
 from repro.sim.config import SystemConfig
+from repro.sweep.engine import SweepEngine
+from repro.sweep.spec import SweepSpec
 
 
-def run(settings: Optional[ExperimentSettings] = None) -> Dict[str, List[MetricRow]]:
+def comparisons() -> List[Comparison]:
     """All selective-DM variants plus the reference policies."""
-    settings = settings or settings_from_env()
     baseline = SystemConfig()
-    return run_dcache_comparison(
-        [
-            ("Sel-DM+Parallel", baseline.with_dcache_policy("seldm_parallel")),
-            ("Sel-DM+Waypred", baseline.with_dcache_policy("seldm_waypred")),
-            ("Sel-DM+Sequential", baseline.with_dcache_policy("seldm_sequential")),
-            ("PC-based", baseline.with_dcache_policy("waypred_pc")),
-            ("Sequential", baseline.with_dcache_policy("sequential")),
-        ],
-        baseline,
-        settings,
-    )
+    return [
+        ("Sel-DM+Parallel", baseline.with_dcache_policy("seldm_parallel"), baseline),
+        ("Sel-DM+Waypred", baseline.with_dcache_policy("seldm_waypred"), baseline),
+        ("Sel-DM+Sequential", baseline.with_dcache_policy("seldm_sequential"), baseline),
+        ("PC-based", baseline.with_dcache_policy("waypred_pc"), baseline),
+        ("Sequential", baseline.with_dcache_policy("sequential"), baseline),
+    ]
 
 
-def render(settings: Optional[ExperimentSettings] = None) -> str:
+def sweep_spec(settings: Optional[ExperimentSettings] = None) -> SweepSpec:
+    """The figure's full run grid."""
+    return comparison_spec(comparisons(), settings, name="fig6")
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, List[MetricRow]]:
+    """Execute the grid and reduce to per-application rows."""
+    return run_comparison(comparisons(), settings, engine=engine, name="fig6")
+
+
+def render(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> str:
     """ASCII analogue of Figure 6 (top and bottom graphs)."""
     return render_comparison(
-        run(settings),
+        run(settings, engine),
         "Figure 6: Selective-DM schemes",
         show_breakdown=True,
     )

@@ -11,29 +11,47 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.experiments.common import ExperimentSettings, MetricRow, settings_from_env
-from repro.experiments.dcache import render_comparison, run_dcache_comparison
+from repro.experiments.common import ExperimentSettings, MetricRow
+from repro.experiments.dcache import (
+    Comparison,
+    comparison_spec,
+    render_comparison,
+    run_comparison,
+)
 from repro.sim.config import SystemConfig
+from repro.sweep.engine import SweepEngine
+from repro.sweep.spec import SweepSpec
 
 
-def run(settings: Optional[ExperimentSettings] = None) -> Dict[str, List[MetricRow]]:
+def comparisons() -> List[Comparison]:
     """Sel-DM+waypred at 16K and 32K, each vs its own-size baseline."""
-    settings = settings or settings_from_env()
-    out: Dict[str, List[MetricRow]] = {}
+    out: List[Comparison] = []
     for size_kb in (16, 32):
         baseline = SystemConfig().with_dcache(size_kb=size_kb)
-        technique = baseline.with_dcache_policy("seldm_waypred")
-        label = f"{size_kb}K"
-        out.update(
-            run_dcache_comparison([(label, technique)], baseline, settings)
-        )
+        out.append((f"{size_kb}K", baseline.with_dcache_policy("seldm_waypred"), baseline))
     return out
 
 
-def render(settings: Optional[ExperimentSettings] = None) -> str:
+def sweep_spec(settings: Optional[ExperimentSettings] = None) -> SweepSpec:
+    """The figure's full run grid (both sizes in one sweep)."""
+    return comparison_spec(comparisons(), settings, name="fig7")
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, List[MetricRow]]:
+    """Execute the grid and reduce to per-application rows."""
+    return run_comparison(comparisons(), settings, engine=engine, name="fig7")
+
+
+def render(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> str:
     """ASCII analogue of Figure 7."""
     return render_comparison(
-        run(settings),
+        run(settings, engine),
         "Figure 7: Effect of cache size on selective-DM (relative to same-size parallel baseline)",
         show_breakdown=True,
     )

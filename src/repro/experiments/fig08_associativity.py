@@ -10,28 +10,49 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.experiments.common import ExperimentSettings, MetricRow, settings_from_env
-from repro.experiments.dcache import render_comparison, run_dcache_comparison
+from repro.experiments.common import ExperimentSettings, MetricRow
+from repro.experiments.dcache import (
+    Comparison,
+    comparison_spec,
+    render_comparison,
+    run_comparison,
+)
 from repro.sim.config import SystemConfig
+from repro.sweep.engine import SweepEngine
+from repro.sweep.spec import SweepSpec
 
 
-def run(settings: Optional[ExperimentSettings] = None) -> Dict[str, List[MetricRow]]:
+def comparisons() -> List[Comparison]:
     """Sel-DM+waypred at 2/4/8 ways, each vs its own-shape baseline."""
-    settings = settings or settings_from_env()
-    out: Dict[str, List[MetricRow]] = {}
+    out: List[Comparison] = []
     for ways in (2, 4, 8):
         baseline = SystemConfig().with_dcache(associativity=ways)
-        technique = baseline.with_dcache_policy("seldm_waypred")
-        out.update(
-            run_dcache_comparison([(f"{ways}-way", technique)], baseline, settings)
+        out.append(
+            (f"{ways}-way", baseline.with_dcache_policy("seldm_waypred"), baseline)
         )
     return out
 
 
-def render(settings: Optional[ExperimentSettings] = None) -> str:
+def sweep_spec(settings: Optional[ExperimentSettings] = None) -> SweepSpec:
+    """The figure's full run grid (all three associativities in one sweep)."""
+    return comparison_spec(comparisons(), settings, name="fig8")
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, List[MetricRow]]:
+    """Execute the grid and reduce to per-application rows."""
+    return run_comparison(comparisons(), settings, engine=engine, name="fig8")
+
+
+def render(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> str:
     """ASCII analogue of Figure 8."""
     return render_comparison(
-        run(settings),
+        run(settings, engine),
         "Figure 8: Effect of associativity on selective-DM "
         "(relative to same-associativity parallel baseline)",
         show_breakdown=True,

@@ -11,29 +11,47 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.experiments.common import ExperimentSettings, MetricRow, settings_from_env
-from repro.experiments.dcache import render_comparison, run_dcache_comparison
+from repro.experiments.common import ExperimentSettings, MetricRow
+from repro.experiments.dcache import (
+    Comparison,
+    comparison_spec,
+    render_comparison,
+    run_comparison,
+)
 from repro.sim.config import SystemConfig
+from repro.sweep.engine import SweepEngine
+from repro.sweep.spec import SweepSpec
 
 
-def run(settings: Optional[ExperimentSettings] = None) -> Dict[str, List[MetricRow]]:
+def comparisons() -> List[Comparison]:
     """The 2-cycle-latency study (baseline is the 2-cycle parallel cache)."""
-    settings = settings or settings_from_env()
     baseline = SystemConfig().with_dcache(latency=2)
-    return run_dcache_comparison(
-        [
-            ("Sel-DM+Waypred", baseline.with_dcache_policy("seldm_waypred")),
-            ("Sel-DM+Sequential", baseline.with_dcache_policy("seldm_sequential")),
-            ("Sequential", baseline.with_dcache_policy("sequential")),
-        ],
-        baseline,
-        settings,
-    )
+    return [
+        ("Sel-DM+Waypred", baseline.with_dcache_policy("seldm_waypred"), baseline),
+        ("Sel-DM+Sequential", baseline.with_dcache_policy("seldm_sequential"), baseline),
+        ("Sequential", baseline.with_dcache_policy("sequential"), baseline),
+    ]
 
 
-def render(settings: Optional[ExperimentSettings] = None) -> str:
+def sweep_spec(settings: Optional[ExperimentSettings] = None) -> SweepSpec:
+    """The figure's full run grid."""
+    return comparison_spec(comparisons(), settings, name="fig9")
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, List[MetricRow]]:
+    """Execute the grid and reduce to per-application rows."""
+    return run_comparison(comparisons(), settings, engine=engine, name="fig9")
+
+
+def render(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> str:
     """ASCII analogue of Figure 9."""
     return render_comparison(
-        run(settings),
+        run(settings, engine),
         "Figure 9: Selective-DM schemes with a 2-cycle base d-cache",
     )

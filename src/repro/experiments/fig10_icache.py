@@ -12,55 +12,43 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.kinds import ICACHE_KINDS
-from repro.experiments.common import (
-    ExperimentSettings,
-    MetricRow,
-    format_table,
-    kind_breakdown,
-    mean_row,
-    settings_from_env,
-)
+from repro.experiments.common import ExperimentSettings, MetricRow, format_table
+from repro.experiments.dcache import Comparison, comparison_spec, run_comparison
 from repro.sim.config import SystemConfig
-from repro.sim.results import performance_degradation, relative_energy_delay
-from repro.sim.runner import run_benchmark
+from repro.sweep.engine import SweepEngine
+from repro.sweep.spec import SweepSpec
 
 
-def run(settings: Optional[ExperimentSettings] = None) -> Dict[str, List[MetricRow]]:
+def comparisons() -> List[Comparison]:
     """Way-predicted i-cache vs parallel, per associativity."""
-    settings = settings or settings_from_env()
-    out: Dict[str, List[MetricRow]] = {}
+    out: List[Comparison] = []
     for ways in (2, 4, 8):
         baseline = SystemConfig().with_icache(associativity=ways)
-        technique = baseline.with_icache_policy("waypred")
-        rows: List[MetricRow] = []
-        for bench in settings.benchmarks:
-            base = run_benchmark(bench, baseline, settings.instructions)
-            tech = run_benchmark(bench, technique, settings.instructions)
-            extras = {
-                "prediction_accuracy": tech.icache_prediction_accuracy,
-                "miss_rate": tech.icache_miss_rate,
-            }
-            extras.update(
-                {f"kind_{k}": v
-                 for k, v in kind_breakdown(tech, ICACHE_KINDS, icache=True).items()}
-            )
-            rows.append(
-                MetricRow(
-                    benchmark=bench,
-                    technique=f"{ways}-way",
-                    relative_energy_delay=relative_energy_delay(tech, base, "icache"),
-                    performance_degradation=performance_degradation(tech, base),
-                    extras=extras,
-                )
-            )
-        rows.append(mean_row(rows, f"{ways}-way"))
-        out[f"{ways}-way"] = rows
+        out.append((f"{ways}-way", baseline.with_icache_policy("waypred"), baseline))
     return out
 
 
-def render(settings: Optional[ExperimentSettings] = None) -> str:
+def sweep_spec(settings: Optional[ExperimentSettings] = None) -> SweepSpec:
+    """The figure's full run grid (all three associativities in one sweep)."""
+    return comparison_spec(comparisons(), settings, name="fig10")
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, List[MetricRow]]:
+    """Execute the grid; rows carry i-cache accuracy and fetch kinds."""
+    return run_comparison(
+        comparisons(), settings, component="icache", engine=engine, name="fig10"
+    )
+
+
+def render(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> str:
     """ASCII analogue of Figure 10 (E-D/perf plus source breakdown)."""
-    results = run(settings)
+    results = run(settings, engine)
     headers = ["benchmark"]
     for label in results:
         headers += [f"{label} E-D", f"{label} perf%"]

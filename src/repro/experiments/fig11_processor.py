@@ -12,20 +12,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.experiments.common import (
-    ExperimentSettings,
-    MetricRow,
-    format_table,
-    mean_row,
-    settings_from_env,
-)
+from repro.experiments.common import ExperimentSettings, MetricRow, format_table
+from repro.experiments.dcache import Comparison, comparison_spec, run_comparison
 from repro.sim.config import SystemConfig
-from repro.sim.results import (
-    performance_degradation,
-    relative_energy,
-    relative_energy_delay,
-)
-from repro.sim.runner import run_benchmark
+from repro.sweep.engine import SweepEngine
+from repro.sweep.spec import SweepSpec
 
 
 def technique_config() -> SystemConfig:
@@ -42,36 +33,36 @@ def perfect_config() -> SystemConfig:
     return SystemConfig().with_dcache_policy("oracle").with_icache_policy("waypred")
 
 
-def run(settings: Optional[ExperimentSettings] = None) -> Dict[str, List[MetricRow]]:
-    """Whole-processor relative energy / energy-delay per application."""
-    settings = settings or settings_from_env()
+def comparisons() -> List[Comparison]:
+    """Combined and perfect techniques vs the Table 1 baseline."""
     baseline = SystemConfig()
-    out: Dict[str, List[MetricRow]] = {}
-    for label, config in (("Combined", technique_config()), ("Perfect", perfect_config())):
-        rows: List[MetricRow] = []
-        for bench in settings.benchmarks:
-            base = run_benchmark(bench, baseline, settings.instructions)
-            tech = run_benchmark(bench, config, settings.instructions)
-            rows.append(
-                MetricRow(
-                    benchmark=bench,
-                    technique=label,
-                    relative_energy_delay=relative_energy_delay(tech, base, "processor"),
-                    performance_degradation=performance_degradation(tech, base),
-                    extras={
-                        "relative_energy": relative_energy(tech, base, "processor"),
-                        "cache_fraction": base.cache_fraction_of_processor,
-                    },
-                )
-            )
-        rows.append(mean_row(rows, label))
-        out[label] = rows
-    return out
+    return [
+        ("Combined", technique_config(), baseline),
+        ("Perfect", perfect_config(), baseline),
+    ]
 
 
-def render(settings: Optional[ExperimentSettings] = None) -> str:
+def sweep_spec(settings: Optional[ExperimentSettings] = None) -> SweepSpec:
+    """The figure's full run grid."""
+    return comparison_spec(comparisons(), settings, name="fig11")
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, List[MetricRow]]:
+    """Whole-processor relative energy / energy-delay per application."""
+    return run_comparison(
+        comparisons(), settings, component="processor", engine=engine, name="fig11"
+    )
+
+
+def render(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> str:
     """ASCII analogue of Figure 11."""
-    results = run(settings)
+    results = run(settings, engine)
     headers = ["benchmark"]
     for label in results:
         headers += [f"{label} E-D", f"{label} E", f"{label} perf%"]

@@ -1,8 +1,17 @@
-"""Experiment registry: id -> renderer, for the CLI and benches."""
+"""Experiment registry: id -> Experiment, for the CLI and benches.
+
+Every experiment renders through the uniform ``(settings, engine)``
+signature, so the CLI's ``--jobs`` flag and ``REPRO_JOBS`` parallelize
+all of them without per-experiment plumbing.  ``rows`` (when present)
+returns the experiment's result rows — plain dataclasses or row dicts —
+which :func:`experiment_json` serializes for ``--json``.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     fig04_sequential,
@@ -16,35 +25,84 @@ from repro.experiments import (
     table5,
     tables,
 )
+from repro.experiments.common import ExperimentSettings
+from repro.sweep.engine import SweepEngine
 
-#: Map experiment id -> zero-arg renderer returning the ASCII report.
-EXPERIMENTS: Dict[str, Callable[[], str]] = {
-    "table1": tables.render_table1,
-    "table2": tables.render_table2,
-    "table3": tables.render_table3,
-    "table4": tables.render_table4,
-    "table5": table5.render,
-    "fig4": fig04_sequential.render,
-    "fig5": fig05_waypred.render,
-    "fig6": fig06_selective_dm.render,
-    "fig7": fig07_cache_size.render,
-    "fig8": fig08_associativity.render,
-    "fig9": fig09_latency.render,
-    "fig10": fig10_icache.render,
-    "fig11": fig11_processor.render,
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered table/figure.
+
+    Attributes:
+        experiment_id: the CLI id (``table1`` ... ``fig11``).
+        title: short human title.
+        renderer: ``(settings, engine) -> str`` ASCII report.
+        rows: optional ``(settings, engine) -> rows`` for JSON export;
+            static experiments whose renderer is the canonical output
+            may omit it.
+    """
+
+    experiment_id: str
+    title: str
+    renderer: Callable[..., str]
+    rows: Optional[Callable[..., object]] = None
+
+    def render(
+        self,
+        settings: Optional[ExperimentSettings] = None,
+        engine: Optional[SweepEngine] = None,
+    ) -> str:
+        """The experiment's ASCII report."""
+        return self.renderer(settings, engine)
+
+
+#: Map experiment id -> Experiment, in presentation order.
+EXPERIMENTS: Dict[str, Experiment] = {
+    experiment.experiment_id: experiment
+    for experiment in (
+        Experiment("table1", "System configuration parameters",
+                   tables.render_table1,
+                   lambda settings, engine: tables.table1_rows()),
+        Experiment("table2", "Applications and input sets",
+                   tables.render_table2,
+                   lambda settings, engine: tables.table2_rows()),
+        Experiment("table3", "Cache energy and prediction overhead",
+                   tables.render_table3,
+                   lambda settings, engine: tables.table3_rows()),
+        Experiment("table4", "D-cache miss rates (DM vs 4-way)",
+                   tables.render_table4, tables.table4_rows),
+        Experiment("table5", "D-cache design-option summary",
+                   table5.render, table5.run),
+        Experiment("fig4", "Sequential-access cache",
+                   fig04_sequential.render, fig04_sequential.run),
+        Experiment("fig5", "PC- and XOR-based way-prediction",
+                   fig05_waypred.render, fig05_waypred.run),
+        Experiment("fig6", "Selective-DM schemes",
+                   fig06_selective_dm.render, fig06_selective_dm.run),
+        Experiment("fig7", "Effect of cache size on selective-DM",
+                   fig07_cache_size.render, fig07_cache_size.run),
+        Experiment("fig8", "Effect of associativity on selective-DM",
+                   fig08_associativity.render, fig08_associativity.run),
+        Experiment("fig9", "Selective-DM with a 2-cycle base d-cache",
+                   fig09_latency.render, fig09_latency.run),
+        Experiment("fig10", "Way-prediction for i-caches",
+                   fig10_icache.render, fig10_icache.run),
+        Experiment("fig11", "Overall processor energy(-delay)",
+                   fig11_processor.render, fig11_processor.run),
+    )
 }
 
 
-def list_experiments() -> list:
+def list_experiments() -> List[str]:
     """Registered experiment ids in presentation order."""
     return list(EXPERIMENTS)
 
 
-def get_experiment(experiment_id: str) -> Callable[[], str]:
-    """Return the renderer for ``experiment_id``.
+def get_experiment(experiment_id: str) -> Experiment:
+    """Return the :class:`Experiment` for ``experiment_id``.
 
     Raises:
-        KeyError: naming the valid ids.
+        KeyError: naming the unknown id and the valid ids.
     """
     try:
         return EXPERIMENTS[experiment_id]
@@ -52,3 +110,32 @@ def get_experiment(experiment_id: str) -> Callable[[], str]:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; valid: {list_experiments()}"
         ) from None
+
+
+def _jsonify(value: object) -> object:
+    """Recursively convert rows (dataclasses/dicts/sequences) to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonify(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    return value
+
+
+def experiment_json(
+    experiment_id: str,
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, object]:
+    """Machine-readable form of one experiment (the CLI's ``--json``)."""
+    experiment = get_experiment(experiment_id)
+    document: Dict[str, object] = {
+        "experiment": experiment.experiment_id,
+        "title": experiment.title,
+    }
+    if experiment.rows is not None:
+        document["rows"] = _jsonify(experiment.rows(settings, engine))
+    else:
+        document["text"] = experiment.render(settings, engine)
+    return document

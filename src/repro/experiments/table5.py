@@ -20,8 +20,14 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.experiments.common import ExperimentSettings, format_table, settings_from_env
-from repro.experiments.dcache import run_dcache_comparison
+from repro.experiments.dcache import (
+    Comparison,
+    comparison_rows,
+    comparison_spec,
+)
 from repro.sim.config import SystemConfig
+from repro.sweep.engine import SweepEngine, default_engine
+from repro.sweep.spec import SweepSpec
 
 #: (label, policy kind, paper E-D savings %, paper perf loss %, paper problem note)
 PAPER_SUMMARY = (
@@ -46,14 +52,29 @@ class Table5Row:
     problem: str
 
 
-def run(settings: Optional[ExperimentSettings] = None) -> List[Table5Row]:
+def comparisons() -> List[Comparison]:
+    """Every summarized technique vs the shared parallel baseline."""
+    baseline = SystemConfig()
+    return [
+        (label, baseline.with_dcache_policy(kind), baseline)
+        for label, kind, _, _, _ in PAPER_SUMMARY
+    ]
+
+
+def sweep_spec(settings: Optional[ExperimentSettings] = None) -> SweepSpec:
+    """The table's full run grid."""
+    return comparison_spec(comparisons(), settings, name="table5")
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> List[Table5Row]:
     """Compute the summary from fresh (memoized) runs."""
     settings = settings or settings_from_env()
-    baseline = SystemConfig()
-    techniques = [
-        (label, baseline.with_dcache_policy(kind)) for label, kind, _, _, _ in PAPER_SUMMARY
-    ]
-    results = run_dcache_comparison(techniques, baseline, settings)
+    engine = engine or default_engine()
+    sweep = engine.run(sweep_spec(settings))
+    results = comparison_rows(sweep, comparisons(), settings)
     rows = []
     for label, _kind, paper_ed, paper_perf, problem in PAPER_SUMMARY:
         mean = results[label][-1]  # MEAN row
@@ -70,12 +91,15 @@ def run(settings: Optional[ExperimentSettings] = None) -> List[Table5Row]:
     return rows
 
 
-def render(settings: Optional[ExperimentSettings] = None) -> str:
+def render(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> str:
     """ASCII analogue of Table 5 with paper-vs-measured columns."""
     rows = [
         [r.technique, f"{r.ed_savings_pct:.0f}", f"{r.paper_ed_savings_pct:.0f}",
          f"{r.perf_loss_pct:.1f}", f"{r.paper_perf_loss_pct:.1f}", r.problem]
-        for r in run(settings)
+        for r in run(settings, engine)
     ]
     return format_table(
         ["Technique", "E-D save% (model)", "(paper)", "Perf loss% (model)", "(paper)", "Problem"],

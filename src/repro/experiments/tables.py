@@ -10,8 +10,8 @@ from repro.energy.cactilite import CactiLite
 from repro.energy.tables import prediction_table_energy
 from repro.experiments.common import ExperimentSettings, format_table, settings_from_env
 from repro.sim.config import SystemConfig
-from repro.sim.functional import measure_miss_rate
-from repro.sim.runner import get_trace
+from repro.sweep.engine import SweepEngine, default_engine
+from repro.sweep.spec import SweepSpec
 from repro.workload.profiles import BENCHMARKS, benchmark_names
 
 
@@ -35,8 +35,11 @@ def table1_rows() -> List[List[str]]:
     ]
 
 
-def render_table1() -> str:
-    """Render Table 1."""
+def render_table1(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> str:
+    """Render Table 1 (static: settings/engine accepted for uniformity)."""
     return format_table(["Parameter", "Value"], table1_rows(),
                         "Table 1: System configuration parameters")
 
@@ -53,8 +56,11 @@ def table2_rows() -> List[List[str]]:
     return rows
 
 
-def render_table2() -> str:
-    """Render Table 2."""
+def render_table2(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> str:
+    """Render Table 2 (static: settings/engine accepted for uniformity)."""
     return format_table(["name", "input", "#inst (billions, paper)", "suite"], table2_rows(),
                         "Table 2: Applications and input sets")
 
@@ -85,7 +91,10 @@ def table3_rows(geometry: Optional[CacheGeometry] = None) -> List[Table3Row]:
     ]
 
 
-def render_table3() -> str:
+def render_table3(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> str:
     """Render Table 3 with paper-vs-measured columns."""
     rows = [
         [r.component, f"{r.paper:.3f}", f"{r.measured:.3f}"] for r in table3_rows()
@@ -105,35 +114,67 @@ class Table4Row:
     sa_paper: float
 
 
-def table4_rows(settings: Optional[ExperimentSettings] = None) -> List[Table4Row]:
+def _table4_instructions(settings: ExperimentSettings) -> int:
+    """Trace length for the miss-rate study (never below 60k)."""
+    return max(settings.instructions, 60_000)
+
+
+def _table4_configs() -> tuple:
+    """(direct-mapped, 4-way set-associative) 16K d-cache configs."""
+    return (
+        SystemConfig().with_dcache(associativity=1),
+        SystemConfig().with_dcache(associativity=4),
+    )
+
+
+def sweep_spec(settings: Optional[ExperimentSettings] = None) -> SweepSpec:
+    """Table 4's grid: functional miss-rate runs, DM and 4-way."""
+    settings = settings or settings_from_env()
+    return SweepSpec.from_grid(
+        "table4",
+        settings.benchmarks,
+        _table4_configs(),
+        _table4_instructions(settings),
+        mode="missrate",
+    )
+
+
+def table4_rows(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> List[Table4Row]:
     """Table 4: d-cache miss rates, DM vs 4-way set-associative."""
     settings = settings or settings_from_env()
-    dm_geometry = CacheGeometry(16 * 1024, 1, 32)
-    sa_geometry = CacheGeometry(16 * 1024, 4, 32)
+    engine = engine or default_engine()
+    sweep = engine.run(sweep_spec(settings))
+    dm_config, sa_config = _table4_configs()
+    instructions = _table4_instructions(settings)
     rows = []
     for name in settings.benchmarks:
         profile = BENCHMARKS[name]
-        trace = get_trace(name, max(settings.instructions, 60_000))
-        dm = measure_miss_rate(trace, dm_geometry)
-        sa = measure_miss_rate(trace, sa_geometry)
+        dm = sweep.get(name, dm_config, instructions, mode="missrate")
+        sa = sweep.get(name, sa_config, instructions, mode="missrate")
         rows.append(
             Table4Row(
                 benchmark=name,
-                dm_measured=dm.miss_rate * 100,
+                dm_measured=dm.dcache_miss_rate * 100,
                 dm_paper=profile.paper_dm_miss_pct,
-                sa_measured=sa.miss_rate * 100,
+                sa_measured=sa.dcache_miss_rate * 100,
                 sa_paper=profile.paper_sa4_miss_pct,
             )
         )
     return rows
 
 
-def render_table4(settings: Optional[ExperimentSettings] = None) -> str:
+def render_table4(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[SweepEngine] = None,
+) -> str:
     """Render Table 4 with paper-vs-measured columns."""
     rows = [
         [r.benchmark, f"{r.dm_measured:.1f}", f"{r.dm_paper:.1f}",
          f"{r.sa_measured:.1f}", f"{r.sa_paper:.1f}"]
-        for r in table4_rows(settings)
+        for r in table4_rows(settings, engine)
     ]
     return format_table(
         ["benchmark", "DM (model)", "DM (paper)", "4-way (model)", "4-way (paper)"],

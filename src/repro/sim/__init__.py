@@ -3,7 +3,13 @@
 from repro.sim.config import CacheLevelConfig, SystemConfig, paper_baseline
 from repro.sim.results import SimResult, relative_energy_delay
 from repro.sim.simulator import Simulator
-from repro.sim.runner import clear_caches, run_benchmark
+from repro.sim.runner import (
+    clear_caches,
+    execute,
+    load_cached,
+    run_benchmark,
+    store_result,
+)
 
 __all__ = [
     "CacheLevelConfig",
@@ -11,7 +17,10 @@ __all__ = [
     "Simulator",
     "SystemConfig",
     "clear_caches",
+    "execute",
+    "load_cached",
     "paper_baseline",
     "relative_energy_delay",
     "run_benchmark",
+    "store_result",
 ]

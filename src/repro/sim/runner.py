@@ -1,4 +1,16 @@
-"""Cached experiment runner.
+"""Single-run backend: execute one (benchmark, config) point, memoized.
+
+This module is the execution backend of the sweep engine
+(:mod:`repro.sweep`): it owns trace memoization, result caching, and the
+two run modes — ``"sim"`` (the full out-of-order simulator) and
+``"missrate"`` (the functional hit/miss model behind Table 4).  The
+engine composes the primitives directly:
+
+* :func:`load_cached` — resolve a run against the in-process and
+  on-disk caches without executing anything;
+* :func:`execute` — run the simulation, no caching (safe to call from a
+  worker process);
+* :func:`store_result` — publish a result into both caches.
 
 Experiments share runs heavily (every figure normalizes against the same
 parallel-access baseline), so results are memoized two ways:
@@ -6,8 +18,10 @@ parallel-access baseline), so results are memoized two ways:
 * an in-process dictionary for the current interpreter;
 * an optional on-disk JSON cache under ``.repro_cache/`` (disable by
   setting ``REPRO_DISK_CACHE=0``) keyed by a SHA-256 of (benchmark,
-  config, instructions, salt), so re-running a bench suite does not
-  re-simulate identical configurations.
+  config, instructions, salt, mode) *plus a schema version derived from
+  the fields of* :class:`SimResult`, so stale entries written by an
+  older result schema are simply not found instead of crashing — or
+  worse, silently satisfying — deserialization.
 
 Traces are also memoized per (benchmark, instructions, salt) because
 generation is pure.
@@ -18,18 +32,29 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict
+from dataclasses import asdict, fields
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.sim.config import SystemConfig
+from repro.sim.functional import measure_miss_rate
 from repro.sim.results import SimResult
 from repro.sim.simulator import Simulator
 from repro.workload.generator import generate_trace
 from repro.workload.trace import Trace
 
+#: Run modes understood by the backend.
+RUN_MODES = ("sim", "missrate")
+
 _RESULT_CACHE: Dict[str, SimResult] = {}
 _TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+
+#: Field names a cached JSON blob must carry to round-trip losslessly.
+_RESULT_FIELDS = tuple(sorted(f.name for f in fields(SimResult)))
+
+#: Cache schema version: changing SimResult's shape changes every key,
+#: so entries written by an older schema are ignored, not mis-parsed.
+SCHEMA_VERSION = hashlib.sha256(",".join(_RESULT_FIELDS).encode("utf-8")).hexdigest()[:12]
 
 
 def _disk_cache_dir() -> Optional[Path]:
@@ -44,8 +69,17 @@ def _disk_cache_dir() -> Optional[Path]:
     return path
 
 
-def _cache_key(benchmark: str, config: SystemConfig, instructions: int, salt: int) -> str:
-    payload = f"{benchmark}|{config.key()}|{instructions}|{salt}|v1"
+def cache_key(
+    benchmark: str,
+    config: SystemConfig,
+    instructions: int,
+    salt: int = 0,
+    mode: str = "sim",
+) -> str:
+    """Stable cache key for one run (includes the result-schema version)."""
+    payload = (
+        f"{benchmark}|{config.key()}|{instructions}|{salt}|{mode}|v2:{SCHEMA_VERSION}"
+    )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -59,6 +93,8 @@ def _load_disk(key: str) -> Optional[SimResult]:
     try:
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
+        if not isinstance(data, dict) or tuple(sorted(data)) != _RESULT_FIELDS:
+            return None  # stale or foreign schema: treat as a miss
         return SimResult(**data)
     except (OSError, ValueError, TypeError):
         return None
@@ -86,28 +122,89 @@ def get_trace(benchmark: str, instructions: int, salt: int = 0) -> Trace:
     return trace
 
 
+# ------------------------------------------------------------------ #
+# Sweep-engine primitives
+# ------------------------------------------------------------------ #
+
+
+def load_cached(
+    benchmark: str,
+    config: SystemConfig,
+    instructions: int,
+    salt: int = 0,
+    mode: str = "sim",
+) -> Optional[SimResult]:
+    """Resolve one run against the caches; ``None`` means "must execute"."""
+    key = cache_key(benchmark, config, instructions, salt, mode)
+    cached = _RESULT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    cached = _load_disk(key)
+    if cached is not None:
+        _RESULT_CACHE[key] = cached
+    return cached
+
+
+def execute(
+    benchmark: str,
+    config: SystemConfig,
+    instructions: int,
+    salt: int = 0,
+    mode: str = "sim",
+) -> SimResult:
+    """Run one point, bypassing all caches (worker-process safe)."""
+    if mode == "sim":
+        trace = get_trace(benchmark, instructions, salt)
+        return Simulator(config).run(trace)
+    if mode == "missrate":
+        trace = get_trace(benchmark, instructions, salt)
+        measured = measure_miss_rate(
+            trace, config.dcache.geometry(), replacement=config.replacement
+        )
+        return SimResult(
+            benchmark=benchmark,
+            config_key=config.key(),
+            instructions=instructions,
+            cycles=0,
+            committed=0,
+            dcache_loads=measured.load_accesses,
+            dcache_stores=measured.accesses - measured.load_accesses,
+            dcache_load_misses=measured.load_misses,
+            dcache_misses=measured.misses,
+        )
+    raise ValueError(f"unknown run mode {mode!r}; valid: {RUN_MODES}")
+
+
+def store_result(
+    benchmark: str,
+    config: SystemConfig,
+    instructions: int,
+    result: SimResult,
+    salt: int = 0,
+    mode: str = "sim",
+) -> None:
+    """Publish a result into the in-process and on-disk caches."""
+    key = cache_key(benchmark, config, instructions, salt, mode)
+    _RESULT_CACHE[key] = result
+    _store_disk(key, result)
+
+
 def run_benchmark(
     benchmark: str,
     config: SystemConfig,
     instructions: int,
     salt: int = 0,
     use_cache: bool = True,
+    mode: str = "sim",
 ) -> SimResult:
     """Simulate ``benchmark`` under ``config``; memoized."""
-    key = _cache_key(benchmark, config, instructions, salt)
     if use_cache:
-        cached = _RESULT_CACHE.get(key)
+        cached = load_cached(benchmark, config, instructions, salt, mode)
         if cached is not None:
             return cached
-        cached = _load_disk(key)
-        if cached is not None:
-            _RESULT_CACHE[key] = cached
-            return cached
-    trace = get_trace(benchmark, instructions, salt)
-    result = Simulator(config).run(trace)
+    result = execute(benchmark, config, instructions, salt, mode)
     if use_cache:
-        _RESULT_CACHE[key] = result
-        _store_disk(key, result)
+        store_result(benchmark, config, instructions, result, salt, mode)
     return result
 
 

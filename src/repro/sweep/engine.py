@@ -1,0 +1,209 @@
+"""The sweep engine: resolve a spec against the caches, execute the rest.
+
+Execution policy lives here and only here.  The engine:
+
+1. resolves each run (specs arrive already de-duplicated) against the
+   runner's in-process/on-disk caches (recorded as ``cache_hits``);
+2. executes the misses — serially for ``jobs == 1`` (the deterministic
+   in-process path tests rely on), or fanned out over a
+   ``ProcessPoolExecutor`` for ``jobs > 1``;
+3. publishes each fresh result into the caches from the parent process
+   as it lands (single writer, so concurrent sweeps never race on disk,
+   and completed work survives an interrupted sweep);
+4. returns a :class:`~repro.sweep.result.SweepResult` keyed by spec.
+
+Results are keyed by *what ran*, never by completion order, so the same
+spec yields byte-identical exports at any job count.  If a process pool
+cannot be created (restricted sandboxes, missing ``fork``), the engine
+degrades to serial execution instead of failing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pickle import PicklingError
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim import runner
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.sweep.result import SweepResult, SweepStats
+from repro.sweep.spec import RunSpec, SweepSpec
+
+#: Payload shipped to worker processes (must stay picklable).
+_Payload = Tuple[str, SystemConfig, int, int, str]
+
+
+def _execute_payload(payload: _Payload) -> SimResult:
+    """Worker entry point: execute one run with no cache side effects."""
+    benchmark, config, instructions, salt, mode = payload
+    return runner.execute(benchmark, config, instructions, salt, mode)
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
+    raw = os.environ.get("REPRO_JOBS", "1")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+class SweepEngine:
+    """Executes :class:`~repro.sweep.spec.SweepSpec` grids.
+
+    Args:
+        jobs: worker processes; 1 means deterministic in-process serial
+            execution (no pool is ever created).
+        use_cache: resolve against and publish to the runner caches.
+        progress: optional callback ``(done, total, spec)`` invoked as
+            each executed run's result lands, for live counters; the
+            count keeps rising monotonically to ``total`` even if the
+            pool fails over to serial execution mid-sweep.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        use_cache: bool = True,
+        progress: Optional[Callable[[int, int, RunSpec], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.use_cache = use_cache
+        self.progress = progress
+
+    # -------------------------------------------------------------- #
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Resolve and execute every run in ``spec``."""
+        started = time.perf_counter()
+        unique: List[RunSpec] = list(spec.runs)  # SweepSpec already de-duplicates
+        result = SweepResult(spec=spec)
+        pending: List[RunSpec] = []
+        for run in unique:
+            cached = (
+                runner.load_cached(
+                    run.benchmark, run.config, run.instructions, run.salt, run.mode
+                )
+                if self.use_cache
+                else None
+            )
+            if cached is not None:
+                result.results[run] = cached
+            else:
+                pending.append(run)
+
+        for run, sim_result in self._execute(pending):
+            result.results[run] = sim_result
+
+        result.stats = SweepStats(
+            unique=len(unique),
+            cache_hits=len(unique) - len(pending),
+            executed=len(pending),
+            jobs=self.jobs,
+            wall_seconds=time.perf_counter() - started,
+        )
+        return result
+
+    def run_one(self, run: RunSpec) -> SimResult:
+        """Convenience: execute a single spec through the same path."""
+        sweep = self.run(SweepSpec(name=run.describe(), runs=(run,)))
+        return sweep[run]
+
+    # -------------------------------------------------------------- #
+
+    def _store(self, run: RunSpec, sim_result: SimResult) -> None:
+        """Publish one result immediately (results survive interruption)."""
+        if self.use_cache:
+            runner.store_result(
+                run.benchmark, run.config, run.instructions, sim_result,
+                run.salt, run.mode,
+            )
+
+    def _execute(self, pending: List[RunSpec]) -> List[Tuple[RunSpec, SimResult]]:
+        if not pending:
+            return []
+        total = len(pending)
+        done: List[Tuple[RunSpec, SimResult]] = []
+        if self.jobs > 1 and len(pending) > 1:
+            pool_done, pending = self._execute_pool(pending, total)
+            done.extend(pool_done)
+        done.extend(self._execute_serial(pending, total, offset=len(done)))
+        return done
+
+    def _execute_serial(
+        self, pending: List[RunSpec], total: int, offset: int = 0
+    ) -> List[Tuple[RunSpec, SimResult]]:
+        out: List[Tuple[RunSpec, SimResult]] = []
+        for index, run in enumerate(pending):
+            sim_result = _execute_payload(
+                (run.benchmark, run.config, run.instructions, run.salt, run.mode)
+            )
+            self._store(run, sim_result)
+            out.append((run, sim_result))
+            if self.progress is not None:
+                self.progress(offset + index + 1, total, run)
+        return out
+
+    def _execute_pool(
+        self, pending: List[RunSpec], total: int
+    ) -> Tuple[List[Tuple[RunSpec, SimResult]], List[RunSpec]]:
+        """Fan out over a process pool.
+
+        Returns ``(completed, remaining)``: ``remaining`` is non-empty
+        only when the pool infrastructure itself failed (fork
+        unavailable, workers killed, unpicklable payload) — those runs
+        fall back to serial execution without losing completed work.  A
+        simulation error raised *inside* a worker propagates unchanged;
+        results completed before it are already cached.
+        """
+        # Generate every distinct trace once in the parent: forked workers
+        # inherit the memo for free (copy-on-write), and a trace is shared
+        # by every config that runs the same application.  Under spawn
+        # (macOS/Windows) workers inherit nothing, so skip the serial
+        # parent phase and let each worker build its own traces.
+        if multiprocessing.get_start_method() == "fork":
+            for benchmark, instructions, salt in dict.fromkeys(
+                (run.benchmark, run.instructions, run.salt) for run in pending
+            ):
+                runner.get_trace(benchmark, instructions, salt)
+        # Dispatch grouped by benchmark so that on spawn-based platforms
+        # (no inherited memo) each worker still reuses its own traces.
+        ordered = sorted(
+            pending, key=lambda run: (run.benchmark, run.instructions, run.salt)
+        )
+        payloads: List[_Payload] = [
+            (run.benchmark, run.config, run.instructions, run.salt, run.mode)
+            for run in ordered
+        ]
+        # Chunks balance trace locality (same-benchmark specs cluster)
+        # against load balancing (several chunks per worker).
+        workers = min(self.jobs, len(pending))
+        chunksize = max(1, len(ordered) // (workers * 4))
+        out: List[Tuple[RunSpec, SimResult]] = []
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = pool.map(_execute_payload, payloads, chunksize=chunksize)
+                for index, sim_result in enumerate(results):
+                    self._store(ordered[index], sim_result)
+                    out.append((ordered[index], sim_result))
+                    if self.progress is not None:
+                        self.progress(index + 1, total, ordered[index])
+                return out, []
+        except (OSError, BrokenProcessPool, PicklingError, ImportError):
+            # Pool infrastructure failed (e.g. fork unavailable in a
+            # restricted sandbox); hand the unfinished runs back.
+            completed = {run for run, _ in out}
+            return out, [run for run in ordered if run not in completed]
+
+
+def default_engine() -> SweepEngine:
+    """Engine honoring ``REPRO_JOBS`` — what experiments use when the
+    caller does not supply one."""
+    return SweepEngine(jobs=default_jobs())

@@ -1,0 +1,31 @@
+"""Plain-text rendering helpers (ASCII tables and bars).
+
+Dependency-free so both the low-level sweep layer and the experiment
+harness can render without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Render a plain ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar(value: float, scale: float = 40.0, maximum: float = 1.0) -> str:
+    """Render a value as a text bar (the figures' visual analogue)."""
+    filled = int(round(min(value, maximum) / maximum * scale))
+    return "#" * filled

@@ -10,7 +10,14 @@ from repro.experiments.common import (
     mean_row,
     settings_from_env,
 )
-from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    experiment_json,
+    get_experiment,
+    list_experiments,
+)
+from repro.sweep.engine import SweepEngine
 from repro.experiments.tables import (
     render_table1,
     render_table2,
@@ -28,9 +35,28 @@ class TestRegistry:
         for expected in ("table3", "table4", "table5", "fig4", "fig11"):
             assert expected in ids
 
+    def test_list_returns_string_list(self):
+        ids = list_experiments()
+        assert isinstance(ids, list)
+        assert all(isinstance(experiment_id, str) for experiment_id in ids)
+
+    def test_round_trip_every_id_resolves(self):
+        for experiment_id in list_experiments():
+            experiment = get_experiment(experiment_id)
+            assert isinstance(experiment, Experiment)
+            assert experiment.experiment_id == experiment_id
+            assert experiment is EXPERIMENTS[experiment_id]
+            assert callable(experiment.renderer)
+
     def test_unknown_raises(self):
         with pytest.raises(KeyError):
             get_experiment("fig99")
+
+    def test_unknown_error_names_the_id(self):
+        with pytest.raises(KeyError, match="fig99"):
+            get_experiment("fig99")
+        with pytest.raises(KeyError, match="no-such-id"):
+            get_experiment("no-such-id")
 
 
 class TestSettings:
@@ -132,6 +158,77 @@ class TestSmallExperiments:
         assert all(r.ed_savings_pct > 30 for r in rows)
 
 
+class TestSweepIntegration:
+    """Experiments render identically at any job count, and declare
+    their grids as inspectable specs."""
+
+    def test_every_dynamic_experiment_declares_a_spec(self):
+        from repro.experiments import (
+            fig04_sequential,
+            fig05_waypred,
+            fig06_selective_dm,
+            fig07_cache_size,
+            fig08_associativity,
+            fig09_latency,
+            fig10_icache,
+            fig11_processor,
+            table5,
+            tables,
+        )
+
+        for module, expected_name in (
+            (fig04_sequential, "fig4"),
+            (fig05_waypred, "fig5"),
+            (fig06_selective_dm, "fig6"),
+            (fig07_cache_size, "fig7"),
+            (fig08_associativity, "fig8"),
+            (fig09_latency, "fig9"),
+            (fig10_icache, "fig10"),
+            (fig11_processor, "fig11"),
+            (table5, "table5"),
+            (tables, "table4"),
+        ):
+            spec = module.sweep_spec(SMALL)
+            assert spec.name == expected_name
+            assert len(spec) > 0
+            assert all(run.benchmark in SMALL.benchmarks for run in spec)
+
+    def test_shared_baseline_deduplicates(self):
+        from repro.experiments import fig06_selective_dm
+
+        spec = fig06_selective_dm.sweep_spec(SMALL)
+        # 5 techniques + 1 shared baseline = 6 configs per application.
+        assert len(spec) == 6 * len(SMALL.benchmarks)
+
+    def test_render_identical_serial_vs_parallel(self):
+        from repro.experiments import fig08_associativity
+
+        serial = fig08_associativity.render(SMALL, SweepEngine(jobs=1))
+        parallel = fig08_associativity.render(SMALL, SweepEngine(jobs=4))
+        assert serial == parallel
+
+    def test_table4_via_missrate_sweep(self):
+        from repro.experiments.tables import sweep_spec, table4_rows
+
+        spec = sweep_spec(SMALL)
+        assert all(run.mode == "missrate" for run in spec)
+        rows = table4_rows(SMALL, SweepEngine(jobs=1))
+        assert [r.benchmark for r in rows] == list(SMALL.benchmarks)
+        for row in rows:
+            assert 0.0 < row.sa_measured < 100.0
+
+    def test_experiment_json_rows(self):
+        document = experiment_json("fig4", SMALL, SweepEngine(jobs=1))
+        assert document["experiment"] == "fig4"
+        rows = document["rows"]["Sequential"]
+        assert rows[-1]["benchmark"] == "MEAN"
+        assert 0.0 < rows[-1]["relative_energy_delay"] < 1.0
+
+    def test_experiment_json_static_table(self):
+        document = experiment_json("table1", SMALL, SweepEngine(jobs=1))
+        assert any("Reorder buffer size" in row[0] for row in document["rows"])
+
+
 class TestCli:
     def test_list(self, capsys):
         from repro.cli import main
@@ -149,3 +246,70 @@ class TestCli:
 
         assert main(["table3"]) == 0
         assert "0.21" in capsys.readouterr().out
+
+    def test_jobs_flag(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        monkeypatch.setenv("REPRO_BENCHMARKS", "gcc,swim")
+        assert main(["fig4", "--jobs", "2"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_bad_jobs_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--jobs", "0"]) == 2
+
+    def test_json_output(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(["table3", "--json"]) == 0
+        documents = json.loads(capsys.readouterr().out)
+        assert documents[0]["experiment"] == "table3"
+        assert documents[0]["rows"][0]["paper"] == 1.0
+
+    def test_json_dynamic_experiment(self, capsys, monkeypatch):
+        import json
+
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        monkeypatch.setenv("REPRO_BENCHMARKS", "gcc,swim")
+        assert main(["fig4", "--json"]) == 0
+        [document] = json.loads(capsys.readouterr().out)
+        assert document["experiment"] == "fig4"
+        assert document["rows"]["Sequential"][-1]["benchmark"] == "MEAN"
+
+    def test_sweep_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "sweep", "--benchmarks", "gcc,swim", "--sizes", "16",
+            "--ways", "2,4", "--policies", "seldm_waypred",
+            "--instructions", "6000", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "16K/2w/1cyc seldm_waypred" in out
+        assert "16K/4w/1cyc seldm_waypred" in out
+
+    def test_sweep_subcommand_json(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main([
+            "sweep", "--benchmarks", "gcc", "--sizes", "16", "--ways", "4",
+            "--policies", "sequential", "--instructions", "6000", "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        [point] = document["points"]
+        assert point["label"] == "16K/4w/1cyc sequential"
+        assert 0.0 < point["relative_energy_delay"] < 1.0
+        assert "gcc" in point["per_benchmark"]
+
+    def test_sweep_unknown_policy(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--policies", "quantum", "--benchmarks", "gcc"]) == 2
