@@ -1,51 +1,45 @@
 #!/usr/bin/env python3
-"""Tour of every d-cache access policy on one application.
+"""Tour of every registered d-cache access policy on one application.
 
 Reproduces the paper's design-space walk (Table 5) for a single
-benchmark: parallel (baseline), sequential, PC/XOR way-prediction, the
-three selective-DM variants, and the oracle upper bound — printing
-energy-delay, slowdown, prediction accuracy, and the access mix.
+benchmark by asking the policy registry what exists — parallel
+(baseline), sequential, PC/XOR way-prediction, the three selective-DM
+variants, the oracle upper bound, and any plugin policies you have
+registered — printing energy-delay, slowdown, prediction accuracy, and
+the access mix.
 """
 
 import sys
 
-from repro import SystemConfig, run_benchmark
+from repro import Machine
 from repro.core.kinds import DCACHE_KINDS
 from repro.sim.results import performance_degradation, relative_energy_delay
-
-POLICIES = (
-    "sequential",
-    "waypred_pc",
-    "waypred_xor",
-    "seldm_parallel",
-    "seldm_waypred",
-    "seldm_sequential",
-    "oracle",
-)
 
 
 def main() -> None:
     bench = sys.argv[1] if len(sys.argv) > 1 else "go"
     instructions = 40_000
-    baseline = SystemConfig()
-    base = run_benchmark(bench, baseline, instructions)
-    print(f"{bench}: baseline IPC {base.ipc:.2f}, "
-          f"miss rate {base.dcache_miss_rate * 100:.1f}%\n")
-    header = f"{'policy':18s} {'E-D':>6s} {'perf%':>7s} {'acc%':>6s}  access mix"
+    base = Machine.from_config().run(bench, instructions=instructions)
+    print(f"{bench}: baseline IPC {base.core.ipc:.2f}, "
+          f"miss rate {base.dcache.miss_rate * 100:.1f}%\n")
+    header = f"{'policy':24s} {'E-D':>6s} {'perf%':>7s} {'acc%':>6s}  access mix"
     print(header)
     print("-" * len(header))
-    for kind in POLICIES:
-        tech = run_benchmark(bench, baseline.with_dcache_policy(kind), instructions)
+    for info in Machine.policies("dcache"):
+        if info.kind == "parallel":
+            continue  # the baseline itself
+        machine = Machine.from_config(dcache_policy=info.kind)
+        tech = machine.run(bench, instructions=instructions)
         mix = "  ".join(
-            f"{k[:3]}={tech.dcache_kind_fraction(k) * 100:.0f}"
+            f"{k[:3]}={tech.dcache.kind_fraction(k) * 100:.0f}"
             for k in DCACHE_KINDS
-            if tech.dcache_kind_fraction(k) > 0.005
+            if tech.dcache.kind_fraction(k) > 0.005
         )
         print(
-            f"{kind:18s} "
+            f"{info.label:24s} "
             f"{relative_energy_delay(tech, base, 'dcache'):6.3f} "
             f"{performance_degradation(tech, base) * 100:+7.1f} "
-            f"{tech.dcache_prediction_accuracy * 100:6.1f}  {mix}"
+            f"{tech.dcache.prediction_accuracy * 100:6.1f}  {mix}"
         )
 
 

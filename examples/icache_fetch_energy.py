@@ -22,13 +22,13 @@ def main() -> None:
             base = run_benchmark(bench, baseline, instructions)
             tech = run_benchmark(bench, technique, instructions)
             mix = "  ".join(
-                f"{kind}={tech.icache_kind_fraction(kind) * 100:.0f}%"
+                f"{kind}={tech.icache.kind_fraction(kind) * 100:.0f}%"
                 for kind in ICACHE_KINDS
             )
             print(
                 f"  {ways}-way: E-D {relative_energy_delay(tech, base, 'icache'):.3f}"
                 f"  perf {performance_degradation(tech, base) * 100:+.2f}%"
-                f"  acc {tech.icache_prediction_accuracy * 100:.1f}%"
+                f"  acc {tech.icache.prediction_accuracy * 100:.1f}%"
             )
             print(f"         {mix}")
         print()

@@ -1,27 +1,28 @@
 #!/usr/bin/env python3
 """Quickstart: measure what selective-DM + way-prediction saves on gcc.
 
-Builds the paper's baseline system (Table 1), swaps in the headline
-technique, runs both on a synthetic gcc-like trace, and prints the
-relative d-cache energy-delay — the paper's primary metric.
+Builds the paper's baseline machine (Table 1), swaps in the headline
+technique via its registered policy kind, runs both on a synthetic
+gcc-like trace, and prints the relative d-cache energy-delay — the
+paper's primary metric.
 """
 
-from repro import SystemConfig, run_benchmark
+from repro import Machine
 from repro.sim.results import performance_degradation, relative_energy_delay
 
 
 def main() -> None:
-    baseline = SystemConfig()  # 16K 4-way 1-cycle parallel L1s
-    technique = baseline.with_dcache_policy("seldm_waypred")
-
     instructions = 40_000
-    base = run_benchmark("gcc", baseline, instructions)
-    tech = run_benchmark("gcc", technique, instructions)
+    baseline = Machine.from_config()  # 16K 4-way 1-cycle parallel L1s
+    technique = Machine.from_config(dcache_policy="seldm_waypred")
+
+    base = baseline.run("gcc", instructions=instructions)
+    tech = technique.run("gcc", instructions=instructions)
 
     print(f"benchmark            : gcc ({instructions} instructions)")
-    print(f"baseline IPC         : {base.ipc:.2f}")
-    print(f"d-cache miss rate    : {base.dcache_miss_rate * 100:.1f}%")
-    print(f"direct-mapped probes : {tech.dcache_kind_fraction('direct_mapped') * 100:.0f}%")
+    print(f"baseline IPC         : {base.core.ipc:.2f}")
+    print(f"d-cache miss rate    : {base.dcache.miss_rate * 100:.1f}%")
+    print(f"direct-mapped probes : {tech.dcache.kind_fraction('direct_mapped') * 100:.0f}%")
     ed = relative_energy_delay(tech, base, "dcache")
     print(f"relative E-D         : {ed:.3f}  (saving {100 * (1 - ed):.0f}%)")
     print(f"performance cost     : {performance_degradation(tech, base) * 100:+.1f}%")

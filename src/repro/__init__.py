@@ -4,14 +4,16 @@ Vijaykumar, Falsafi, Roy — MICRO 2001).
 
 Quick start::
 
-    from repro import SystemConfig, run_benchmark
+    from repro import Machine
     from repro.sim.results import relative_energy_delay
 
-    baseline = SystemConfig()                                  # Table 1
-    technique = baseline.with_dcache_policy("seldm_waypred")   # Sel-DM+WP
-    base = run_benchmark("gcc", baseline, 50_000)
-    tech = run_benchmark("gcc", technique, 50_000)
+    base = Machine.from_config().run("gcc")                    # Table 1
+    tech = Machine.from_config(dcache_policy="seldm_waypred").run("gcc")
     print(relative_energy_delay(tech, base, "dcache"))
+
+Policies are plugins: ``Machine.policies()`` lists the registry, and a
+``@register_policy``-decorated class is immediately selectable by kind
+string everywhere (``repro.api`` documents the ~10-line recipe).
 
 Subpackages:
 
@@ -37,6 +39,9 @@ Sweeping many points at once::
     tech, base = sweep.pair("gcc", technique, baseline, 50_000)
 """
 
+from repro.api import Machine
+from repro.core.registry import PolicyInfo, register_policy
+from repro.core.spec import PolicySpec
 from repro.sim.config import CacheLevelConfig, SystemConfig, paper_baseline
 from repro.sim.results import (
     SimResult,
@@ -56,6 +61,9 @@ __version__ = "1.1.0"
 
 __all__ = [
     "CacheLevelConfig",
+    "Machine",
+    "PolicyInfo",
+    "PolicySpec",
     "RunSpec",
     "SimResult",
     "Simulator",
@@ -68,6 +76,7 @@ __all__ = [
     "get_profile",
     "paper_baseline",
     "performance_degradation",
+    "register_policy",
     "relative_energy",
     "relative_energy_delay",
     "run_benchmark",

@@ -1,0 +1,162 @@
+"""The documented library entry point: ``repro.api``.
+
+Three calls cover the common library workflow::
+
+    from repro.api import Machine
+
+    machine = Machine.from_config(dcache_policy="seldm_waypred")
+    result = machine.run("gcc", instructions=50_000)   # -> SimResult
+    for info in Machine.policies("dcache"):
+        print(info.kind, "-", info.label)
+
+A :class:`Machine` wraps one immutable :class:`~repro.sim.config.SystemConfig`;
+``run`` accepts either a benchmark name (executed through the memoizing
+runner, so repeated runs are free) or a prebuilt
+:class:`~repro.workload.trace.Trace` (executed directly on a fresh
+simulator).  Results come back as the structured
+:class:`~repro.sim.results.SimResult`.
+
+Custom policies plug in through the registry re-exported here::
+
+    from repro.api import register_policy
+    from repro.core.policy import DCachePolicy, ProbePlan
+
+    @register_policy("mine", side="dcache", label="My policy",
+                     params={"table_entries": 512})
+    class MyPolicy(DCachePolicy):
+        ...
+
+    Machine.from_config(dcache_policy="mine").run("gcc", instructions=10_000)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Optional, Tuple, Union
+
+from repro.core.registry import (
+    PolicyInfo,
+    iter_policies,
+    policy_kinds,
+    register_policy,
+    unregister_policy,
+)
+from repro.core.spec import PolicySpec
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.sim.runner import run_benchmark
+from repro.sim.simulator import Simulator
+from repro.workload.trace import Trace
+
+__all__ = [
+    "Machine",
+    "PolicyInfo",
+    "PolicySpec",
+    "SimResult",
+    "SystemConfig",
+    "iter_policies",
+    "policy_kinds",
+    "register_policy",
+    "unregister_policy",
+]
+
+
+class Machine:
+    """One configured system, ready to run traces.
+
+    Build with :meth:`from_config`; the wrapped config is immutable, so
+    a machine can be reused across runs and shared freely.
+    """
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config if config is not None else SystemConfig()
+
+    # -------------------------------------------------------------- #
+    # Construction
+    # -------------------------------------------------------------- #
+
+    @classmethod
+    def from_config(
+        cls,
+        config: Optional[SystemConfig] = None,
+        *,
+        dcache_policy: Union[str, PolicySpec, None] = None,
+        icache_policy: Union[str, PolicySpec, None] = None,
+        **overrides: Any,
+    ) -> "Machine":
+        """Build a machine from a config plus convenient overrides.
+
+        Args:
+            config: base configuration (default: the paper's Table 1).
+            dcache_policy: registered kind string or full spec.
+            icache_policy: registered kind string or full spec.
+            **overrides: any other :class:`SystemConfig` field (e.g.
+                ``memory_latency=120``).
+        """
+        config = config if config is not None else SystemConfig()
+        if dcache_policy is not None:
+            spec = (
+                PolicySpec.create(dcache_policy, side="dcache")
+                if isinstance(dcache_policy, str)
+                else dcache_policy
+            )
+            config = replace(config, dcache_policy=spec)
+        if icache_policy is not None:
+            spec = (
+                PolicySpec.create(icache_policy, side="icache")
+                if isinstance(icache_policy, str)
+                else icache_policy
+            )
+            config = replace(config, icache_policy=spec)
+        if overrides:
+            config = replace(config, **overrides)
+        return cls(config)
+
+    # -------------------------------------------------------------- #
+    # Execution
+    # -------------------------------------------------------------- #
+
+    def run(
+        self,
+        trace: Union[Trace, str],
+        instructions: int = 50_000,
+        salt: int = 0,
+        use_cache: bool = True,
+    ) -> SimResult:
+        """Run one workload on this machine.
+
+        Args:
+            trace: a prebuilt :class:`Trace`, or a benchmark name (see
+                :func:`repro.workload.profiles.benchmark_names`).
+            instructions: trace length when ``trace`` is a name.
+            salt: trace-generation salt when ``trace`` is a name.
+            use_cache: resolve benchmark runs against the memo caches.
+
+        Returns:
+            The structured :class:`SimResult`.
+        """
+        if isinstance(trace, Trace):
+            return Simulator(self.config).run(trace)
+        return run_benchmark(
+            trace, self.config, instructions, salt=salt, use_cache=use_cache
+        )
+
+    def simulator(self) -> Simulator:
+        """A fresh (single-use) simulator for this configuration."""
+        return Simulator(self.config)
+
+    # -------------------------------------------------------------- #
+    # Introspection
+    # -------------------------------------------------------------- #
+
+    @staticmethod
+    def policies(side: Optional[str] = None) -> Tuple[PolicyInfo, ...]:
+        """Registered policies (both sides, or one)."""
+        return tuple(iter_policies(side))
+
+    def describe(self) -> str:
+        """One-line human description of the wrapped config."""
+        return self.config.describe()
+
+    def __repr__(self) -> str:
+        return f"Machine({self.config.describe()})"

@@ -1,6 +1,6 @@
 """Command-line entry point: ``repro-experiment``.
 
-Two modes:
+Three modes:
 
 * ``repro-experiment [IDS...] [--jobs N] [--json]`` — regenerate the
   paper's tables/figures, fanning each experiment's run grid over N
@@ -9,6 +9,9 @@ Two modes:
 * ``repro-experiment sweep [grid options]`` — run an ad-hoc design-space
   grid (size x ways x latency x policy, each point normalized against
   the parallel baseline of the same shape) without writing code.
+* ``repro-experiment policies [--json]`` — list every policy kind
+  registered for each cache side (built-ins and plugins alike), with
+  labels and declared parameters.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.core.registry import SIDES, iter_policies
 from repro.experiments.common import settings_from_env
 from repro.experiments.registry import (
     experiment_json,
@@ -49,6 +53,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "policies":
+        return policies_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
@@ -112,6 +118,55 @@ def main(argv: Optional[List[str]] = None) -> int:
         started = time.time()
         print(experiment.render(settings, engine))
         print(f"[{experiment.experiment_id} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+def policies_main(argv: List[str]) -> int:
+    """The ``policies`` subcommand: list the policy registry."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment policies",
+        description=(
+            "List every registered L1 access policy (built-ins and "
+            "plugins), per cache side, with display labels and declared "
+            "parameters."
+        ),
+    )
+    parser.add_argument(
+        "--side",
+        choices=SIDES,
+        default=None,
+        help="restrict the listing to one cache side",
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="emit the registry as a JSON array")
+    args = parser.parse_args(argv)
+
+    infos = list(iter_policies(args.side))
+    if args.json:
+        document = [
+            {
+                "kind": info.kind,
+                "side": info.side,
+                "label": info.label,
+                "params": info.defaults(),
+                "description": info.description,
+            }
+            for info in infos
+        ]
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
+    for side in SIDES if args.side is None else (args.side,):
+        rows = [info for info in infos if info.side == side]
+        if not rows:
+            continue
+        print(f"{side} policies:")
+        for info in rows:
+            params = ", ".join(f"{k}={v}" for k, v in info.params) or "-"
+            print(f"  {info.kind:18s} {info.label:24s} [{params}]")
+            if info.description:
+                print(f"  {'':18s} {info.description}")
+        print()
     return 0
 
 

@@ -8,8 +8,15 @@ executes policy probe plans against the functional cache array, charges
 energy per Figure 1's schedules, and reports latency to the core.
 
 I-cache way prediction (section 2.3) lives in
-:mod:`repro.core.icache`: the SAWP table plus the way fields added to
-the BTB and RAS, driven by the fetch unit.
+:mod:`repro.core.icache_policy` (the SAWP table plus the way fields
+added to the BTB and RAS, driven by the fetch unit) and executes in
+:mod:`repro.core.icache`.
+
+Policies are *plugins*: each registers against the shared registry
+(:mod:`repro.core.registry`) with a kind string, display label, and
+declared parameters; :class:`~repro.core.spec.PolicySpec` validates
+against the registration and the factory builds through it, so adding a
+policy end-to-end is one module plus one test file.
 """
 
 from repro.core.kinds import (
@@ -29,17 +36,36 @@ from repro.core.waypred import PcWayPredictionPolicy, XorWayPredictionPolicy
 from repro.core.oracle import OraclePolicy
 from repro.core.selective_dm import SelectiveDmPolicy, VictimList
 from repro.core.engine import DCacheEngine, LoadOutcome, StoreOutcome
-from repro.core.icache import ICacheEngine, IFetchWayPredictor
-from repro.core.spec import DCachePolicySpec, ICachePolicySpec
-from repro.core.factory import build_dcache_policy
+from repro.core.icache import ICacheEngine
+from repro.core.icache_policy import (
+    ICachePolicy,
+    IFetchWayPredictor,
+    ParallelFetchPolicy,
+    WayPredictedFetchPolicy,
+)
+from repro.core.registry import (
+    PolicyInfo,
+    iter_policies,
+    policy_kinds,
+    policy_label,
+    register_policy,
+    unregister_policy,
+)
+from repro.core.spec import DCachePolicySpec, ICachePolicySpec, PolicySpec
+from repro.core.factory import build_dcache_policy, build_icache_policy, build_policy
 
 __all__ = [
     "DCacheEngine",
     "DCachePolicy",
     "DCachePolicySpec",
     "ICacheEngine",
+    "ICachePolicy",
     "ICachePolicySpec",
     "IFetchWayPredictor",
+    "ParallelFetchPolicy",
+    "PolicyInfo",
+    "PolicySpec",
+    "WayPredictedFetchPolicy",
     "KIND_BTB_CORRECT",
     "KIND_DIRECT_MAPPED",
     "KIND_MISPREDICTED",
@@ -59,4 +85,11 @@ __all__ = [
     "VictimList",
     "XorWayPredictionPolicy",
     "build_dcache_policy",
+    "build_icache_policy",
+    "build_policy",
+    "iter_policies",
+    "policy_kinds",
+    "policy_label",
+    "register_policy",
+    "unregister_policy",
 ]

@@ -31,7 +31,7 @@ from repro.cache.geometry import CacheGeometry
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cache.sram import SetAssociativeCache
 from repro.cache.stats import CacheStats
-from repro.core.kinds import KIND_MISPREDICTED, KIND_PARALLEL
+from repro.core.kinds import KIND_MISPREDICTED
 from repro.core.policy import (
     DCachePolicy,
     MODE_ORACLE,

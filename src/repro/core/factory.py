@@ -1,34 +1,34 @@
-"""Policy construction from specs."""
+"""Policy construction from specs, backed by the registry.
+
+The old closed if-chain over kind strings is gone: a spec's kind names a
+registered factory (see :mod:`repro.core.registry`), so plugin policies
+build through exactly the same path as the paper's built-ins.  An
+unknown kind raises :class:`ValueError` naming the valid kinds (at spec
+construction time when possible, and again here for specs smuggled past
+validation).
+"""
 
 from __future__ import annotations
 
-from repro.core.oracle import OraclePolicy
-from repro.core.parallel import ParallelPolicy
+from repro.core.icache_policy import ICachePolicy
 from repro.core.policy import DCachePolicy
-from repro.core.selective_dm import SelectiveDmPolicy
-from repro.core.sequential import SequentialPolicy
-from repro.core.spec import DCachePolicySpec
-from repro.core.waypred import PcWayPredictionPolicy, XorWayPredictionPolicy
+from repro.core.spec import PolicySpec
 
 
-def build_dcache_policy(spec: DCachePolicySpec) -> DCachePolicy:
+def build_policy(spec: PolicySpec) -> object:
+    """Instantiate the registered policy described by ``spec``."""
+    return spec.build()
+
+
+def build_dcache_policy(spec: PolicySpec) -> DCachePolicy:
     """Instantiate the d-cache policy described by ``spec``."""
-    if spec.kind == "parallel":
-        return ParallelPolicy()
-    if spec.kind == "sequential":
-        return SequentialPolicy()
-    if spec.kind == "waypred_pc":
-        return PcWayPredictionPolicy(spec.table_entries)
-    if spec.kind == "waypred_xor":
-        return XorWayPredictionPolicy(spec.table_entries)
-    if spec.kind == "oracle":
-        return OraclePolicy()
-    if spec.is_selective_dm:
-        handler = spec.kind.split("_", 1)[1]
-        return SelectiveDmPolicy(
-            conflict_handler=handler,
-            table_entries=spec.table_entries,
-            victim_entries=spec.victim_entries,
-            conflict_threshold=spec.conflict_threshold,
-        )
-    raise AssertionError(f"unhandled policy kind {spec.kind!r}")
+    if spec.side != "dcache":
+        raise ValueError(f"expected a dcache spec, got side {spec.side!r}")
+    return build_policy(spec)
+
+
+def build_icache_policy(spec: PolicySpec) -> ICachePolicy:
+    """Instantiate the i-cache fetch policy described by ``spec``."""
+    if spec.side != "icache":
+        raise ValueError(f"expected an icache spec, got side {spec.side!r}")
+    return build_policy(spec)

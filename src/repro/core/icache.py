@@ -13,9 +13,11 @@ next PC, a full cycle early) and accurate:
 * branch-misprediction restarts and structure misses: no prediction;
   the fetch defaults to parallel access.
 
-:class:`IFetchWayPredictor` owns the SAWP; the BTB and RAS way fields
-live in their structures (:mod:`repro.predictors`).  The fetch unit
-(:mod:`repro.cpu.fetch`) decides which source supplies each prediction.
+The policy family lives in :mod:`repro.core.icache_policy` (registered
+through the shared registry): :class:`IFetchWayPredictor` owns the SAWP;
+the BTB and RAS way fields live in their structures
+(:mod:`repro.predictors`).  The fetch unit (:mod:`repro.cpu.fetch`)
+decides which source supplies each prediction.
 """
 
 from __future__ import annotations
@@ -27,6 +29,11 @@ from repro.cache.geometry import CacheGeometry
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cache.sram import SetAssociativeCache
 from repro.cache.stats import CacheStats
+from repro.core.icache_policy import (
+    ICachePolicy,
+    IFetchWayPredictor,
+    WayPredictedFetchPolicy,
+)
 from repro.core.kinds import (
     KIND_BTB_CORRECT,
     KIND_MISPREDICTED,
@@ -37,7 +44,17 @@ from repro.core.kinds import (
 from repro.energy.cactilite import CacheEnergyModel
 from repro.energy.ledger import EnergyLedger
 from repro.energy.tables import PredictionStructureEnergy
-from repro.predictors.table import WayPredictionTable
+
+__all__ = [
+    "FetchOutcome",
+    "ICacheEngine",
+    "ICachePolicy",
+    "IFetchWayPredictor",
+    "SOURCE_BTB",
+    "SOURCE_NONE",
+    "SOURCE_RAS",
+    "SOURCE_SAWP",
+]
 
 #: Prediction-source labels passed by the fetch unit.
 SOURCE_SAWP = "sawp"
@@ -52,21 +69,6 @@ _CORRECT_KIND = {
 }
 
 
-class IFetchWayPredictor:
-    """The SAWP table: current fetch PC -> next sequential fetch's way."""
-
-    def __init__(self, entries: int = 1024) -> None:
-        self.sawp = WayPredictionTable(entries)
-
-    def predict_sequential(self, current_block_pc: int) -> Optional[int]:
-        """Way prediction for a sequential/not-taken transition."""
-        return self.sawp.predict(current_block_pc >> 5)
-
-    def train_sequential(self, current_block_pc: int, next_way: int) -> None:
-        """Record the way the next sequential block resolved to."""
-        self.sawp.train(current_block_pc >> 5, next_way)
-
-
 @dataclass(frozen=True)
 class FetchOutcome:
     """Result of one i-cache block fetch."""
@@ -78,10 +80,11 @@ class FetchOutcome:
 
 
 class ICacheEngine:
-    """L1 instruction cache with optional way prediction.
+    """L1 instruction cache driven by a registered fetch policy.
 
-    ``way_predict=False`` models the conventional parallel-access
-    baseline; every fetch probes all ways.
+    The policy decides whether fetches use way prediction and owns the
+    SAWP state; a ``parallel`` policy models the conventional baseline
+    where every fetch probes all ways.
     """
 
     ENERGY_COMPONENT = "l1_icache"
@@ -95,7 +98,7 @@ class ICacheEngine:
         pred_energy: PredictionStructureEnergy,
         ledger: EnergyLedger,
         base_latency: int = 1,
-        way_predict: bool = True,
+        policy: Optional[ICachePolicy] = None,
         replacement: str = "lru",
     ) -> None:
         self.geometry = geometry
@@ -105,9 +108,15 @@ class ICacheEngine:
         self.pred_energy = pred_energy
         self.ledger = ledger
         self.base_latency = base_latency
-        self.way_predict = way_predict
+        self.policy = policy if policy is not None else WayPredictedFetchPolicy()
+        self.way_predictor = self.policy.make_predictor()
         self.array = SetAssociativeCache(geometry, replacement=replacement, name="L1I")
         self.stats = CacheStats()
+
+    @property
+    def way_predict(self) -> bool:
+        """Whether the configured policy predicts fetch ways."""
+        return self.policy.way_predict and self.way_predictor is not None
 
     def _charge(self, amount: float) -> None:
         self.ledger.charge(self.ENERGY_COMPONENT, amount)

@@ -10,10 +10,12 @@ from __future__ import annotations
 
 from repro.core.kinds import KIND_WAY_PREDICTED
 from repro.core.policy import DCachePolicy, MODE_ORACLE, ProbePlan
+from repro.core.registry import register_policy
 
 _PLAN = ProbePlan(mode=MODE_ORACLE, kind=KIND_WAY_PREDICTED)
 
 
+@register_policy("oracle", side="dcache", label="Perfect way-pred")
 class OraclePolicy(DCachePolicy):
     """Always probe the matching way; physically unrealizable."""
 

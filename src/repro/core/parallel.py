@@ -8,10 +8,12 @@ from __future__ import annotations
 
 from repro.core.kinds import KIND_PARALLEL
 from repro.core.policy import DCachePolicy, MODE_PARALLEL, ProbePlan
+from repro.core.registry import register_policy
 
 _PLAN = ProbePlan(mode=MODE_PARALLEL, kind=KIND_PARALLEL)
 
 
+@register_policy("parallel", side="dcache", label="Parallel")
 class ParallelPolicy(DCachePolicy):
     """Probe everything, select later."""
 

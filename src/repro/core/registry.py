@@ -1,0 +1,220 @@
+"""The policy-plugin registry: one extension point for every L1 policy.
+
+The paper's contribution is a *family* of access policies compared under
+one harness; this module is the seam that keeps the family open.  A
+policy module registers itself once::
+
+    from repro.core.policy import DCachePolicy, ProbePlan
+    from repro.core.registry import register_policy
+
+    @register_policy(
+        "waymemo", side="dcache", label="Way memoization",
+        params={"table_entries": 1024},
+    )
+    class WayMemoizationPolicy(DCachePolicy):
+        def __init__(self, table_entries: int = 1024) -> None: ...
+
+and the whole stack picks it up with no further edits: the kind string
+becomes valid in :class:`~repro.core.spec.PolicySpec` (and therefore in
+``SystemConfig``, sweeps, and the CLI), the label feeds figure legends,
+and ``repro-experiment policies`` lists it.
+
+Registration is keyed by ``(side, kind)`` where ``side`` is ``"dcache"``
+or ``"icache"``.  The declared ``params`` mapping (name -> default) is
+the policy's public constructor surface: :class:`PolicySpec` validates
+against it and fills defaults, so two specs naming the same point are
+equal however they were spelled.
+
+Registrations live in the importing process.  For plugin kinds to be
+visible in processes you don't control the imports of — the
+``repro-experiment`` CLI, or sweep worker processes on spawn-based
+platforms (macOS/Windows), which start fresh interpreters — set
+``REPRO_POLICY_MODULES`` to a comma-separated list of module paths;
+the registry imports them alongside the built-ins (environment
+variables are inherited by worker processes, so one setting covers
+both cases).
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+#: Valid registry sides.
+SIDES = ("dcache", "icache")
+
+#: Registered factories, keyed by (side, kind); insertion-ordered.
+_REGISTRY: Dict[Tuple[str, str], "PolicyInfo"] = {}
+
+_BUILTINS_LOADED = False
+
+#: Modules whose import registers the paper's built-in policies.
+_BUILTIN_MODULES = (
+    "repro.core.parallel",
+    "repro.core.sequential",
+    "repro.core.waypred",
+    "repro.core.oracle",
+    "repro.core.selective_dm",
+    "repro.core.icache_policy",
+)
+
+
+@dataclass(frozen=True)
+class PolicyInfo:
+    """One registered policy: identity, display, and construction.
+
+    Attributes:
+        kind: the spec/CLI kind string (e.g. ``"seldm_waypred"``).
+        side: ``"dcache"`` or ``"icache"``.
+        label: short display label matching the paper's figure legends.
+        factory: callable building the policy; accepts the declared
+            params as keyword arguments.
+        params: declared parameter names mapped to their defaults —
+            the policy's public knob surface.
+        description: one-line summary (defaults to the factory's first
+            docstring line).
+    """
+
+    kind: str
+    side: str
+    label: str
+    factory: Callable[..., Any] = field(compare=False)
+    params: Tuple[Tuple[str, Any], ...] = ()
+    description: str = ""
+
+    def merged_params(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate ``params`` against the declaration, fill defaults.
+
+        Raises:
+            ValueError: naming any parameter the policy never declared.
+        """
+        merged = dict(self.params)
+        unknown = sorted(set(params) - set(merged))
+        if unknown:
+            raise ValueError(
+                f"unknown parameter(s) {unknown} for {self.side} policy "
+                f"{self.kind!r}; declared: {sorted(merged)}"
+            )
+        merged.update(params)
+        return merged
+
+    def build(self, **params: Any) -> Any:
+        """Instantiate the policy with ``params`` over the defaults."""
+        return self.factory(**self.merged_params(params))
+
+    def defaults(self) -> Dict[str, Any]:
+        """Declared params as a plain dict (name -> default)."""
+        return dict(self.params)
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in (and env-named plugin) policy modules once.
+
+    The registry itself imports no policy module (they import *us* for
+    the decorator), so queries lazily pull the built-ins in.  Plugins
+    register on their own import, like any policy module; modules named
+    in ``REPRO_POLICY_MODULES`` are imported here so plugin kinds also
+    resolve in the CLI and in spawn-based sweep workers.  A plugin that
+    fails to import raises immediately — a silently missing policy
+    would surface later as a confusing unknown-kind error.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+    for name in os.environ.get("REPRO_POLICY_MODULES", "").split(","):
+        if name.strip():
+            importlib.import_module(name.strip())
+
+
+def register_policy(
+    kind: str,
+    side: str,
+    label: Optional[str] = None,
+    params: Optional[Mapping[str, Any]] = None,
+    description: Optional[str] = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Class/function decorator registering a policy factory.
+
+    Args:
+        kind: the spec kind string; must be unique per side.
+        side: ``"dcache"`` or ``"icache"``.
+        label: display label (defaults to ``kind``).
+        params: declared parameters and their defaults; only these may
+            appear in a :class:`~repro.core.spec.PolicySpec` for this
+            kind.
+        description: one-liner for listings (defaults to the factory's
+            first docstring line).
+
+    Returns:
+        The decorated factory, unchanged.
+    """
+    if side not in SIDES:
+        raise ValueError(f"unknown policy side {side!r}; valid: {SIDES}")
+
+    def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+        key = (side, kind)
+        if key in _REGISTRY:
+            raise ValueError(f"{side} policy {kind!r} is already registered")
+        doc = (factory.__doc__ or "").strip().splitlines()
+        _REGISTRY[key] = PolicyInfo(
+            kind=kind,
+            side=side,
+            label=label if label is not None else kind,
+            factory=factory,
+            params=tuple(sorted((params or {}).items())),
+            description=description if description is not None else (doc[0] if doc else ""),
+        )
+        return factory
+
+    return decorator
+
+
+def unregister_policy(kind: str, side: str) -> None:
+    """Remove a registration (plugin teardown and tests)."""
+    _REGISTRY.pop((side, kind), None)
+
+
+def policy_kinds(side: str) -> Tuple[str, ...]:
+    """Registered kind strings for ``side``, in registration order."""
+    if side not in SIDES:
+        raise ValueError(f"unknown policy side {side!r}; valid: {SIDES}")
+    _ensure_builtins()
+    return tuple(kind for (s, kind) in _REGISTRY if s == side)
+
+
+def get_policy(kind: str, side: str) -> PolicyInfo:
+    """The :class:`PolicyInfo` registered for ``(side, kind)``.
+
+    Raises:
+        ValueError: naming the unknown kind and every valid kind for
+            the side (the error path ``build_dcache_policy`` inherits).
+    """
+    if side not in SIDES:
+        raise ValueError(f"unknown policy side {side!r}; valid: {SIDES}")
+    _ensure_builtins()
+    info = _REGISTRY.get((side, kind))
+    if info is None:
+        raise ValueError(
+            f"unknown {side} policy {kind!r}; valid: {policy_kinds(side)}"
+        )
+    return info
+
+
+def policy_label(kind: str, side: str) -> str:
+    """Display label for a registered kind (one source of truth)."""
+    return get_policy(kind, side).label
+
+
+def iter_policies(side: Optional[str] = None) -> Iterable[PolicyInfo]:
+    """All registered policies, optionally filtered by side."""
+    _ensure_builtins()
+    if side is not None and side not in SIDES:
+        raise ValueError(f"unknown policy side {side!r}; valid: {SIDES}")
+    return tuple(
+        info for (s, _kind), info in _REGISTRY.items() if side is None or s == side
+    )

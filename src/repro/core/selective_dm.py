@@ -41,6 +41,7 @@ from repro.core.policy import (
     MODE_SINGLE,
     ProbePlan,
 )
+from repro.core.registry import register_policy
 from repro.predictors.table import CounterTable, WayPredictionTable
 from repro.utils.bitops import AddressFields
 
@@ -187,3 +188,30 @@ class SelectiveDmPolicy(DCachePolicy):
     def on_eviction(self, block_addr: int) -> int:
         self.victim_list.record_eviction(block_addr)
         return 1
+
+
+# ------------------------------------------------------------------ #
+# Registry entries: one kind per conflict handler
+# ------------------------------------------------------------------ #
+
+_SELDM_PARAMS = {"table_entries": 1024, "victim_entries": 16, "conflict_threshold": 2}
+
+
+def _register_seldm(handler: str, label: str):
+    @register_policy(f"seldm_{handler}", side="dcache", label=label,
+                     params=_SELDM_PARAMS,
+                     description=f"Selective-DM; conflicting loads use {handler} access")
+    def build(table_entries: int = 1024, victim_entries: int = 16,
+              conflict_threshold: int = 2) -> SelectiveDmPolicy:
+        return SelectiveDmPolicy(
+            conflict_handler=handler,
+            table_entries=table_entries,
+            victim_entries=victim_entries,
+            conflict_threshold=conflict_threshold,
+        )
+    return build
+
+
+_register_seldm("parallel", "Sel-DM + Parallel")
+_register_seldm("waypred", "Sel-DM + Way-pred")
+_register_seldm("sequential", "Sel-DM + Sequential")

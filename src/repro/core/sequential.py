@@ -10,10 +10,12 @@ from __future__ import annotations
 
 from repro.core.kinds import KIND_SEQUENTIAL
 from repro.core.policy import DCachePolicy, MODE_SEQUENTIAL, ProbePlan
+from repro.core.registry import register_policy
 
 _PLAN = ProbePlan(mode=MODE_SEQUENTIAL, kind=KIND_SEQUENTIAL)
 
 
+@register_policy("sequential", side="dcache", label="Sequential")
 class SequentialPolicy(DCachePolicy):
     """Tag first, then exactly the matching data way."""
 

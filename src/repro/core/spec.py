@@ -1,74 +1,122 @@
-"""Hashable policy specifications used by system configs and experiments."""
+"""Hashable policy specifications used by system configs and experiments.
+
+One generic :class:`PolicySpec` covers both cache sides: a registered
+*kind* plus a parameter mapping validated against the policy's declared
+knobs (see :mod:`repro.core.registry`).  Specs normalize on
+construction — parameters are sorted and defaults filled in — so two
+specs naming the same design point compare and hash equal however they
+were spelled, which the runner's cache keys and sweep de-duplication
+rely on.
+
+``DCachePolicySpec``/``ICachePolicySpec`` remain as thin constructor
+functions for the common case of building a spec for one side.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict, Tuple
 
-#: D-cache policy kinds.
-DCACHE_KINDS = (
-    "parallel",
-    "sequential",
-    "waypred_pc",
-    "waypred_xor",
-    "oracle",
-    "seldm_parallel",
-    "seldm_waypred",
-    "seldm_sequential",
-)
-
-#: I-cache policy kinds.
-ICACHE_KINDS = ("parallel", "waypred")
+from repro.core import registry
 
 
 @dataclass(frozen=True)
-class DCachePolicySpec:
-    """Which d-cache access policy to build, with structure sizes.
+class PolicySpec:
+    """Which access policy to build, for either cache side.
 
-    The defaults are the paper's: 1024-entry prediction tables and a
-    16-entry victim list (section 3).
+    Attributes:
+        kind: a kind string registered for ``side``.
+        side: ``"dcache"`` or ``"icache"``.
+        params: sorted ``(name, value)`` pairs, complete over the
+            policy's declared parameters (defaults filled in).  Kept as
+            a tuple so specs stay hashable and JSON-stable.
     """
 
     kind: str = "parallel"
-    table_entries: int = 1024
-    victim_entries: int = 16
-    conflict_threshold: int = 2
+    side: str = "dcache"
+    params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in DCACHE_KINDS:
-            raise ValueError(f"unknown d-cache policy {self.kind!r}; valid: {DCACHE_KINDS}")
+        info = registry.get_policy(self.kind, self.side)  # validates kind
+        merged = info.merged_params(dict(self.params))  # validates params
+        object.__setattr__(self, "params", tuple(sorted(merged.items())))
+
+    @classmethod
+    def create(cls, kind: str, side: str = "dcache", **params: Any) -> "PolicySpec":
+        """Build a spec from keyword parameters."""
+        return cls(kind=kind, side=side, params=tuple(sorted(params.items())))
+
+    # -------------------------------------------------------------- #
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """One parameter's value (declared default already applied)."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Parameters as a plain dict."""
+        return dict(self.params)
+
+    def with_params(self, **params: Any) -> "PolicySpec":
+        """Copy with some parameters overridden."""
+        merged = self.as_dict()
+        merged.update(params)
+        return PolicySpec.create(self.kind, self.side, **merged)
+
+    def build(self) -> Any:
+        """Instantiate the registered policy this spec names."""
+        return registry.get_policy(self.kind, self.side).build(**self.as_dict())
+
+    # -------------------------------------------------------------- #
+    # Derived attributes
+    # -------------------------------------------------------------- #
+
+    @property
+    def label(self) -> str:
+        """Display label, owned by the registered policy (one source of
+        truth for figure legends)."""
+        return registry.policy_label(self.kind, self.side)
 
     @property
     def is_selective_dm(self) -> bool:
         """True for the selective-DM family."""
         return self.kind.startswith("seldm_")
 
-    @property
-    def label(self) -> str:
-        """Short display label matching the paper's figure legends."""
-        return {
-            "parallel": "Parallel",
-            "sequential": "Sequential",
-            "waypred_pc": "PC-based way-pred",
-            "waypred_xor": "XOR-based way-pred",
-            "oracle": "Perfect way-pred",
-            "seldm_parallel": "Sel-DM + Parallel",
-            "seldm_waypred": "Sel-DM + Way-pred",
-            "seldm_sequential": "Sel-DM + Sequential",
-        }[self.kind]
+    def describe(self) -> str:
+        """Compact human form: ``kind(param=value, ...)``."""
+        inner = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.kind}({inner})" if inner else self.kind
 
 
-@dataclass(frozen=True)
-class ICachePolicySpec:
-    """Which i-cache access scheme to build."""
+def DCachePolicySpec(kind: str = "parallel", **params: Any) -> PolicySpec:
+    """A d-cache :class:`PolicySpec` (legacy constructor name).
 
-    kind: str = "parallel"
-    sawp_entries: int = 1024
+    The defaults are the paper's: 1024-entry prediction tables and a
+    16-entry victim list (section 3), declared by each policy.
+    """
+    return PolicySpec.create(kind, side="dcache", **params)
 
-    def __post_init__(self) -> None:
-        if self.kind not in ICACHE_KINDS:
-            raise ValueError(f"unknown i-cache policy {self.kind!r}; valid: {ICACHE_KINDS}")
 
-    @property
-    def way_predict(self) -> bool:
-        """True when fetch should use BTB/SAWP/RAS way prediction."""
-        return self.kind == "waypred"
+def ICachePolicySpec(kind: str = "parallel", **params: Any) -> PolicySpec:
+    """An i-cache :class:`PolicySpec` (legacy constructor name)."""
+    return PolicySpec.create(kind, side="icache", **params)
+
+
+def _dcache_kinds() -> Tuple[str, ...]:
+    return registry.policy_kinds("dcache")
+
+
+def _icache_kinds() -> Tuple[str, ...]:
+    return registry.policy_kinds("icache")
+
+
+def __getattr__(name: str):  # pragma: no cover - thin module-level shim
+    # DCACHE_KINDS/ICACHE_KINDS are derived from the registry now; expose
+    # them lazily so importing this module never forces policy imports.
+    if name == "DCACHE_KINDS":
+        return _dcache_kinds()
+    if name == "ICACHE_KINDS":
+        return _icache_kinds()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

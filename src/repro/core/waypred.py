@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.core.kinds import KIND_PARALLEL, KIND_WAY_PREDICTED
 from repro.core.policy import DCachePolicy, MODE_PARALLEL, MODE_SINGLE, ProbePlan
+from repro.core.registry import register_policy
 from repro.predictors.table import WayPredictionTable
 
 
@@ -60,6 +61,10 @@ class _WayPredictionPolicyBase(DCachePolicy):
         return 1 if changed else 0
 
 
+@register_policy(
+    "waypred_pc", side="dcache", label="PC-based way-pred",
+    params={"table_entries": 1024},
+)
 class PcWayPredictionPolicy(_WayPredictionPolicyBase):
     """Early-but-inaccurate: handle = load PC."""
 
@@ -69,6 +74,10 @@ class PcWayPredictionPolicy(_WayPredictionPolicyBase):
         return pc >> 2
 
 
+@register_policy(
+    "waypred_xor", side="dcache", label="XOR-based way-pred",
+    params={"table_entries": 1024},
+)
 class XorWayPredictionPolicy(_WayPredictionPolicyBase):
     """Accurate-but-late: handle = XOR address approximation."""
 

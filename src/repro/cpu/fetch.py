@@ -17,11 +17,10 @@ fetch until the branch resolves in the core plus a redirect penalty.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.icache import (
     ICacheEngine,
-    IFetchWayPredictor,
     SOURCE_BTB,
     SOURCE_NONE,
     SOURCE_RAS,
@@ -66,7 +65,9 @@ class FetchUnit:
         self.icache = icache
         self.config = config
         self.stats = stats
-        self.way_predictor = IFetchWayPredictor()
+        # SAWP state is owned by the i-cache's fetch policy (None when
+        # the policy never predicts; every use is guarded by way_predict).
+        self.way_predictor = icache.way_predictor
         self.branch_predictor = HybridPredictor(
             bimodal_entries=config.bimodal_entries,
             gshare_entries=config.gshare_entries,

@@ -29,12 +29,9 @@ from repro.cpu.config import CoreConfig
 from repro.cpu.fetch import FetchedInstr, FetchUnit
 from repro.cpu.stats import CoreStats
 from repro.workload.instr import (
-    OP_BRANCH,
-    OP_CALL,
     OP_FP,
     OP_INT,
     OP_LOAD,
-    OP_RET,
     OP_STORE,
 )
 

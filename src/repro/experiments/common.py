@@ -89,6 +89,6 @@ def mean_row(rows: Iterable[MetricRow], technique: str) -> MetricRow:
 
 def kind_breakdown(result: SimResult, kinds: Sequence[str], icache: bool = False) -> Dict[str, float]:
     """Normalized access-kind fractions for the breakdown plots."""
-    source = result.icache_kinds if icache else result.dcache_kinds
+    source = (result.icache if icache else result.dcache).kinds
     total = sum(source.values()) or 1
     return {kind: source.get(kind, 0) / total for kind in kinds}

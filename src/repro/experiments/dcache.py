@@ -63,8 +63,8 @@ def _extras(technique: SimResult, baseline: SimResult, component: str) -> Dict[s
     """Per-component extra metrics the figures' bottom graphs use."""
     if component == "dcache":
         extras = {
-            "prediction_accuracy": technique.dcache_prediction_accuracy,
-            "miss_rate": technique.dcache_miss_rate,
+            "prediction_accuracy": technique.dcache.prediction_accuracy,
+            "miss_rate": technique.dcache.miss_rate,
         }
         extras.update(
             {f"kind_{k}": v for k, v in kind_breakdown(technique, DCACHE_KINDS).items()}
@@ -72,8 +72,8 @@ def _extras(technique: SimResult, baseline: SimResult, component: str) -> Dict[s
         return extras
     if component == "icache":
         extras = {
-            "prediction_accuracy": technique.icache_prediction_accuracy,
-            "miss_rate": technique.icache_miss_rate,
+            "prediction_accuracy": technique.icache.prediction_accuracy,
+            "miss_rate": technique.icache.miss_rate,
         }
         extras.update(
             {f"kind_{k}": v
@@ -83,7 +83,7 @@ def _extras(technique: SimResult, baseline: SimResult, component: str) -> Dict[s
     # processor: Figure 11's overall energy view
     return {
         "relative_energy": relative_energy(technique, baseline, "processor"),
-        "cache_fraction": baseline.cache_fraction_of_processor,
+        "cache_fraction": baseline.energy.cache_fraction_of_processor,
     }
 
 

@@ -157,9 +157,9 @@ def table4_rows(
         rows.append(
             Table4Row(
                 benchmark=name,
-                dm_measured=dm.dcache_miss_rate * 100,
+                dm_measured=dm.dcache.miss_rate * 100,
                 dm_paper=profile.paper_dm_miss_pct,
-                sa_measured=sa.dcache_miss_rate * 100,
+                sa_measured=sa.dcache.miss_rate * 100,
                 sa_paper=profile.paper_sa4_miss_pct,
             )
         )

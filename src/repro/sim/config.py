@@ -6,7 +6,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 
 from repro.cache.geometry import CacheGeometry
-from repro.core.spec import DCachePolicySpec, ICachePolicySpec
+from repro.core.spec import PolicySpec
 from repro.cpu.config import CoreConfig
 
 
@@ -43,8 +43,12 @@ class SystemConfig:
     memory_latency: int = 80
     memory_cycles_per_chunk: int = 4
     memory_chunk_bytes: int = 8
-    dcache_policy: DCachePolicySpec = field(default_factory=DCachePolicySpec)
-    icache_policy: ICachePolicySpec = field(default_factory=ICachePolicySpec)
+    dcache_policy: PolicySpec = field(
+        default_factory=lambda: PolicySpec(kind="parallel", side="dcache")
+    )
+    icache_policy: PolicySpec = field(
+        default_factory=lambda: PolicySpec(kind="parallel", side="icache")
+    )
     replacement: str = "lru"
 
     # -------------------------------------------------------------- #
@@ -53,13 +57,17 @@ class SystemConfig:
         """Stable canonical string for caching/deduplication."""
         return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
 
-    def with_dcache_policy(self, kind: str, **kwargs) -> "SystemConfig":
-        """Copy with a different d-cache policy."""
-        return replace(self, dcache_policy=DCachePolicySpec(kind=kind, **kwargs))
+    def with_dcache_policy(self, kind: str, **params) -> "SystemConfig":
+        """Copy with a different d-cache policy (any registered kind)."""
+        return replace(
+            self, dcache_policy=PolicySpec.create(kind, side="dcache", **params)
+        )
 
-    def with_icache_policy(self, kind: str, **kwargs) -> "SystemConfig":
-        """Copy with a different i-cache policy."""
-        return replace(self, icache_policy=ICachePolicySpec(kind=kind, **kwargs))
+    def with_icache_policy(self, kind: str, **params) -> "SystemConfig":
+        """Copy with a different i-cache policy (any registered kind)."""
+        return replace(
+            self, icache_policy=PolicySpec.create(kind, side="icache", **params)
+        )
 
     def with_dcache(self, **kwargs) -> "SystemConfig":
         """Copy with modified d-cache level parameters."""

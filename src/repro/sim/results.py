@@ -1,5 +1,13 @@
-"""Simulation results: a plain, serializable record plus the paper's
-relative-metric arithmetic.
+"""Structured simulation results plus the paper's relative-metric
+arithmetic.
+
+A :class:`SimResult` is organized into nested sections — one
+:class:`CoreMetrics`, one :class:`L1Metrics` per L1 cache, one
+:class:`L2Metrics`, one :class:`EnergyMetrics` — and every consumer
+(the runner's schema-versioned disk cache, sweep JSON export,
+experiment renderers, the CLI's ``--json``) speaks this one schema.
+:meth:`SimResult.to_flat`/:meth:`SimResult.from_flat` round-trip the
+structure through a flat JSON-safe mapping for disk storage.
 
 The paper normalizes per application: relative cache energy-delay is
 "relative d-cache energy multiplied by relative execution time", and
@@ -10,51 +18,22 @@ configuration of the same geometry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, fields
+from typing import Dict, Tuple
 
 from repro.utils.statsutil import safe_ratio
 
 
 @dataclass
-class SimResult:
-    """Flat, JSON-serializable result of one simulation run."""
+class CoreMetrics:
+    """Pipeline-level counts for one run."""
 
-    benchmark: str
-    config_key: str
-    instructions: int
-    cycles: int
-    committed: int
-    # core
+    instructions: int = 0
+    cycles: int = 0
+    committed: int = 0
     branches: int = 0
     branch_mispredicts: int = 0
     fetch_cycles: int = 0
-    # d-cache
-    dcache_loads: int = 0
-    dcache_stores: int = 0
-    dcache_load_misses: int = 0
-    dcache_misses: int = 0
-    dcache_predictions: int = 0
-    dcache_correct_predictions: int = 0
-    dcache_second_probes: int = 0
-    dcache_kinds: Dict[str, int] = field(default_factory=dict)
-    # i-cache
-    icache_fetches: int = 0
-    icache_misses: int = 0
-    icache_predictions: int = 0
-    icache_correct_predictions: int = 0
-    icache_second_probes: int = 0
-    icache_kinds: Dict[str, int] = field(default_factory=dict)
-    # l2
-    l2_accesses: int = 0
-    l2_misses: int = 0
-    # energy (REU)
-    energy: Dict[str, float] = field(default_factory=dict)
-    processor_components: Dict[str, float] = field(default_factory=dict)
-
-    # -------------------------------------------------------------- #
-    # Derived quantities
-    # -------------------------------------------------------------- #
 
     @property
     def ipc(self) -> float:
@@ -62,67 +41,189 @@ class SimResult:
         return safe_ratio(self.committed, self.cycles)
 
     @property
-    def dcache_miss_rate(self) -> float:
-        """D-cache miss ratio over loads+stores."""
-        return safe_ratio(self.dcache_misses, self.dcache_loads + self.dcache_stores)
-
-    @property
-    def dcache_load_miss_rate(self) -> float:
-        """D-cache load miss ratio."""
-        return safe_ratio(self.dcache_load_misses, self.dcache_loads)
-
-    @property
-    def dcache_prediction_accuracy(self) -> float:
-        """Way/mapping prediction accuracy over predicted d-cache hits."""
-        return safe_ratio(self.dcache_correct_predictions, self.dcache_predictions)
-
-    @property
-    def icache_miss_rate(self) -> float:
-        """I-cache miss ratio."""
-        return safe_ratio(self.icache_misses, self.icache_fetches)
-
-    @property
-    def icache_prediction_accuracy(self) -> float:
-        """I-cache way prediction accuracy over predicted fetches."""
-        return safe_ratio(self.icache_correct_predictions, self.icache_predictions)
-
-    @property
     def branch_accuracy(self) -> float:
         """Branch direction+target accuracy."""
         return 1.0 - safe_ratio(self.branch_mispredicts, self.branches)
 
+
+@dataclass
+class L1Metrics:
+    """One L1 cache's access/prediction counts.
+
+    For the i-cache, ``loads`` counts fetches and ``stores`` stays 0.
+    """
+
+    loads: int = 0
+    stores: int = 0
+    load_misses: int = 0
+    misses: int = 0
+    predictions: int = 0
+    correct_predictions: int = 0
+    second_probes: int = 0
+    kinds: Dict[str, int] = field(default_factory=dict)
+
     @property
-    def dcache_energy(self) -> float:
+    def accesses(self) -> int:
+        """Loads plus stores."""
+        return self.loads + self.stores
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio over all accesses."""
+        return safe_ratio(self.misses, self.accesses)
+
+    @property
+    def load_miss_rate(self) -> float:
+        """Load (fetch) miss ratio."""
+        return safe_ratio(self.load_misses, self.loads)
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Way/mapping prediction accuracy over predicted hits."""
+        return safe_ratio(self.correct_predictions, self.predictions)
+
+    def kind_fraction(self, kind: str) -> float:
+        """Share of accesses performed as ``kind``."""
+        total = sum(self.kinds.values())
+        return safe_ratio(self.kinds.get(kind, 0), total)
+
+
+@dataclass
+class L2Metrics:
+    """Unified L2 counts."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """L2 miss ratio."""
+        return safe_ratio(self.misses, self.accesses)
+
+
+@dataclass
+class EnergyMetrics:
+    """Energy accounting in relative energy units (REU).
+
+    Attributes:
+        components: the ledger's per-component cache/prediction energies
+            (``l1_dcache``, ``prediction_dcache``, ``l1_icache``,
+            ``prediction_icache``, ``l2``).
+        processor: Wattch-lite whole-processor component energies.
+    """
+
+    components: Dict[str, float] = field(default_factory=dict)
+    processor: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dcache(self) -> float:
         """L1 d-cache energy plus its prediction-structure overhead."""
-        return self.energy.get("l1_dcache", 0.0) + self.energy.get("prediction_dcache", 0.0)
+        return self.components.get("l1_dcache", 0.0) + self.components.get(
+            "prediction_dcache", 0.0
+        )
 
     @property
-    def icache_energy(self) -> float:
+    def icache(self) -> float:
         """L1 i-cache energy plus its prediction-structure overhead."""
-        return self.energy.get("l1_icache", 0.0) + self.energy.get("prediction_icache", 0.0)
+        return self.components.get("l1_icache", 0.0) + self.components.get(
+            "prediction_icache", 0.0
+        )
 
     @property
-    def processor_energy(self) -> float:
+    def processor_total(self) -> float:
         """Whole-processor energy (Wattch-lite)."""
-        return sum(self.processor_components.values())
+        return sum(self.processor.values())
 
     @property
     def cache_fraction_of_processor(self) -> float:
         """L1 caches' share of processor energy (paper: 10-16%)."""
-        l1 = self.processor_components.get("l1_icache", 0.0) + self.processor_components.get(
-            "l1_dcache", 0.0
+        l1 = self.processor.get("l1_icache", 0.0) + self.processor.get("l1_dcache", 0.0)
+        return safe_ratio(l1, self.processor_total)
+
+
+#: The nested sections of a result, in flat-name prefix order.
+_SECTIONS: Tuple[Tuple[str, type], ...] = (
+    ("core", CoreMetrics),
+    ("dcache", L1Metrics),
+    ("icache", L1Metrics),
+    ("l2", L2Metrics),
+    ("energy", EnergyMetrics),
+)
+
+
+@dataclass
+class SimResult:
+    """Structured result of one simulation run."""
+
+    benchmark: str
+    config_key: str
+    core: CoreMetrics = field(default_factory=CoreMetrics)
+    dcache: L1Metrics = field(default_factory=L1Metrics)
+    icache: L1Metrics = field(default_factory=L1Metrics)
+    l2: L2Metrics = field(default_factory=L2Metrics)
+    energy: EnergyMetrics = field(default_factory=EnergyMetrics)
+
+    # -------------------------------------------------------------- #
+    # Headline conveniences
+    # -------------------------------------------------------------- #
+
+    @property
+    def cycles(self) -> int:
+        """Total execution cycles (the paper's T)."""
+        return self.core.cycles
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.core.ipc
+
+    # -------------------------------------------------------------- #
+    # Flat round-trip (disk cache, spreadsheets)
+    # -------------------------------------------------------------- #
+
+    @classmethod
+    def flat_field_names(cls) -> Tuple[str, ...]:
+        """Sorted flat-schema keys; the cache schema version derives
+        from these, so reshaping any section rolls the version."""
+        names = ["benchmark", "config_key"]
+        for prefix, section in _SECTIONS:
+            names.extend(f"{prefix}_{f.name}" for f in fields(section))
+        return tuple(sorted(names))
+
+    def to_flat(self) -> Dict[str, object]:
+        """Flatten to one JSON-safe ``{section_field: value}`` mapping."""
+        flat: Dict[str, object] = {
+            "benchmark": self.benchmark,
+            "config_key": self.config_key,
+        }
+        for prefix, _section in _SECTIONS:
+            part = getattr(self, prefix)
+            for f in fields(part):
+                value = getattr(part, f.name)
+                flat[f"{prefix}_{f.name}"] = dict(value) if isinstance(value, dict) else value
+        return flat
+
+    @classmethod
+    def from_flat(cls, flat: Dict[str, object]) -> "SimResult":
+        """Rebuild a result from :meth:`to_flat` output.
+
+        Raises:
+            ValueError: when the mapping's keys don't exactly match the
+                current flat schema (the disk cache treats this as a
+                stale entry).
+        """
+        expected = cls.flat_field_names()
+        if tuple(sorted(flat)) != expected:
+            raise ValueError("flat mapping does not match the current result schema")
+        sections = {}
+        for prefix, section in _SECTIONS:
+            kwargs = {f.name: flat[f"{prefix}_{f.name}"] for f in fields(section)}
+            sections[prefix] = section(**kwargs)
+        return cls(
+            benchmark=str(flat["benchmark"]),
+            config_key=str(flat["config_key"]),
+            **sections,
         )
-        return safe_ratio(l1, self.processor_energy)
-
-    def dcache_kind_fraction(self, kind: str) -> float:
-        """Share of d-cache reads performed as ``kind``."""
-        total = sum(self.dcache_kinds.values())
-        return safe_ratio(self.dcache_kinds.get(kind, 0), total)
-
-    def icache_kind_fraction(self, kind: str) -> float:
-        """Share of i-cache fetches performed as ``kind``."""
-        total = sum(self.icache_kinds.values())
-        return safe_ratio(self.icache_kinds.get(kind, 0), total)
 
 
 # ------------------------------------------------------------------ #
@@ -132,12 +233,22 @@ class SimResult:
 
 def relative_execution_time(result: SimResult, baseline: SimResult) -> float:
     """T_technique / T_baseline."""
-    return safe_ratio(result.cycles, baseline.cycles, default=1.0)
+    return safe_ratio(result.core.cycles, baseline.core.cycles, default=1.0)
 
 
 def performance_degradation(result: SimResult, baseline: SimResult) -> float:
     """Fractional slowdown (0.03 == 3% slower)."""
     return relative_execution_time(result, baseline) - 1.0
+
+
+def _component_energy(result: SimResult, component: str) -> float:
+    if component == "dcache":
+        return result.energy.dcache
+    if component == "icache":
+        return result.energy.icache
+    if component == "processor":
+        return result.energy.processor_total
+    raise ValueError(f"unknown component {component!r}")
 
 
 def relative_energy_delay(
@@ -148,23 +259,15 @@ def relative_energy_delay(
     Args:
         component: "dcache", "icache", or "processor".
     """
-    if component == "dcache":
-        energy_ratio = safe_ratio(result.dcache_energy, baseline.dcache_energy, default=1.0)
-    elif component == "icache":
-        energy_ratio = safe_ratio(result.icache_energy, baseline.icache_energy, default=1.0)
-    elif component == "processor":
-        energy_ratio = safe_ratio(result.processor_energy, baseline.processor_energy, default=1.0)
-    else:
-        raise ValueError(f"unknown component {component!r}")
-    return energy_ratio * relative_execution_time(result, baseline)
+    return relative_energy(result, baseline, component) * relative_execution_time(
+        result, baseline
+    )
 
 
 def relative_energy(result: SimResult, baseline: SimResult, component: str = "processor") -> float:
     """Relative energy for ``component`` (no delay term)."""
-    if component == "dcache":
-        return safe_ratio(result.dcache_energy, baseline.dcache_energy, default=1.0)
-    if component == "icache":
-        return safe_ratio(result.icache_energy, baseline.icache_energy, default=1.0)
-    if component == "processor":
-        return safe_ratio(result.processor_energy, baseline.processor_energy, default=1.0)
-    raise ValueError(f"unknown component {component!r}")
+    return safe_ratio(
+        _component_energy(result, component),
+        _component_energy(baseline, component),
+        default=1.0,
+    )

@@ -19,9 +19,13 @@ parallel-access baseline), so results are memoized two ways:
 * an optional on-disk JSON cache under ``.repro_cache/`` (disable by
   setting ``REPRO_DISK_CACHE=0``) keyed by a SHA-256 of (benchmark,
   config, instructions, salt, mode) *plus a schema version derived from
-  the fields of* :class:`SimResult`, so stale entries written by an
-  older result schema are simply not found instead of crashing — or
-  worse, silently satisfying — deserialization.
+  the flat field names of* :class:`SimResult` (see
+  :meth:`~repro.sim.results.SimResult.flat_field_names`), so stale
+  entries written by an older result schema are simply not found
+  instead of crashing — or worse, silently satisfying —
+  deserialization.  Entries are stored via
+  :meth:`~repro.sim.results.SimResult.to_flat` and rebuilt with
+  :meth:`~repro.sim.results.SimResult.from_flat`.
 
 Traces are also memoized per (benchmark, instructions, salt) because
 generation is pure.
@@ -32,13 +36,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict, fields
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.sim.config import SystemConfig
 from repro.sim.functional import measure_miss_rate
-from repro.sim.results import SimResult
+from repro.sim.results import L1Metrics, SimResult
 from repro.sim.simulator import Simulator
 from repro.workload.generator import generate_trace
 from repro.workload.trace import Trace
@@ -49,11 +52,12 @@ RUN_MODES = ("sim", "missrate")
 _RESULT_CACHE: Dict[str, SimResult] = {}
 _TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
 
-#: Field names a cached JSON blob must carry to round-trip losslessly.
-_RESULT_FIELDS = tuple(sorted(f.name for f in fields(SimResult)))
+#: Flat keys a cached JSON blob must carry to round-trip losslessly.
+_RESULT_FIELDS = SimResult.flat_field_names()
 
-#: Cache schema version: changing SimResult's shape changes every key,
-#: so entries written by an older schema are ignored, not mis-parsed.
+#: Cache schema version: changing any result section's shape changes
+#: every key, so entries written by an older schema are ignored, not
+#: mis-parsed.  The v2->v3 bump marks the nested-sections redesign.
 SCHEMA_VERSION = hashlib.sha256(",".join(_RESULT_FIELDS).encode("utf-8")).hexdigest()[:12]
 
 
@@ -78,7 +82,7 @@ def cache_key(
 ) -> str:
     """Stable cache key for one run (includes the result-schema version)."""
     payload = (
-        f"{benchmark}|{config.key()}|{instructions}|{salt}|{mode}|v2:{SCHEMA_VERSION}"
+        f"{benchmark}|{config.key()}|{instructions}|{salt}|{mode}|v3:{SCHEMA_VERSION}"
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -95,7 +99,7 @@ def _load_disk(key: str) -> Optional[SimResult]:
             data = json.load(handle)
         if not isinstance(data, dict) or tuple(sorted(data)) != _RESULT_FIELDS:
             return None  # stale or foreign schema: treat as a miss
-        return SimResult(**data)
+        return SimResult.from_flat(data)
     except (OSError, ValueError, TypeError):
         return None
 
@@ -107,7 +111,7 @@ def _store_disk(key: str, result: SimResult) -> None:
     path = directory / f"{key}.json"
     try:
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(asdict(result), handle)
+            json.dump(result.to_flat(), handle)
     except OSError:
         pass  # caching is best-effort
 
@@ -161,17 +165,15 @@ def execute(
         measured = measure_miss_rate(
             trace, config.dcache.geometry(), replacement=config.replacement
         )
-        return SimResult(
-            benchmark=benchmark,
-            config_key=config.key(),
-            instructions=instructions,
-            cycles=0,
-            committed=0,
-            dcache_loads=measured.load_accesses,
-            dcache_stores=measured.accesses - measured.load_accesses,
-            dcache_load_misses=measured.load_misses,
-            dcache_misses=measured.misses,
+        result = SimResult(benchmark=benchmark, config_key=config.key())
+        result.core.instructions = instructions
+        result.dcache = L1Metrics(
+            loads=measured.load_accesses,
+            stores=measured.accesses - measured.load_accesses,
+            load_misses=measured.load_misses,
+            misses=measured.misses,
         )
+        return result
     raise ValueError(f"unknown run mode {mode!r}; valid: {RUN_MODES}")
 
 

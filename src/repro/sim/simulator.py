@@ -6,7 +6,7 @@ from typing import Optional
 
 from repro.cache.hierarchy import L2Cache, MainMemory, MemoryHierarchy
 from repro.core.engine import DCacheEngine
-from repro.core.factory import build_dcache_policy
+from repro.core.factory import build_dcache_policy, build_icache_policy
 from repro.core.icache import ICacheEngine
 from repro.cpu.fetch import FetchUnit
 from repro.cpu.ooo import OutOfOrderCore
@@ -16,7 +16,13 @@ from repro.energy.ledger import EnergyLedger
 from repro.energy.processor import WattchLite, WattchParameters
 from repro.energy.tables import PredictionStructureEnergy
 from repro.sim.config import SystemConfig
-from repro.sim.results import SimResult
+from repro.sim.results import (
+    CoreMetrics,
+    EnergyMetrics,
+    L1Metrics,
+    L2Metrics,
+    SimResult,
+)
 from repro.workload.trace import Trace
 
 
@@ -43,15 +49,17 @@ class Simulator:
         hierarchy = MemoryHierarchy(self.l2)
         self._l2_energy_model = cacti.energy_model(config.l2.geometry())
 
-        # Prediction-structure energies sized from the policy specs.
+        # Prediction-structure energies sized from the policy specs
+        # (policies that declare no tables fall back to paper sizes;
+        # the structures only charge energy when a policy uses them).
         dspec = config.dcache_policy
         pred_energy = PredictionStructureEnergy.build(
-            table_entries=dspec.table_entries,
-            victim_entries=dspec.victim_entries,
+            table_entries=dspec.get("table_entries", 1024),
+            victim_entries=dspec.get("victim_entries", 16),
             way_bits=max(config.dcache.geometry().fields.way_bits, 1),
         )
         ipred_energy = PredictionStructureEnergy.build(
-            table_entries=config.icache_policy.sawp_entries,
+            table_entries=config.icache_policy.get("sawp_entries", 1024),
             table_bits=max(config.icache.geometry().fields.way_bits, 1),
             way_bits=max(config.icache.geometry().fields.way_bits, 1),
         )
@@ -74,7 +82,7 @@ class Simulator:
             pred_energy=ipred_energy,
             ledger=self.ledger,
             base_latency=config.icache.latency,
-            way_predict=config.icache_policy.way_predict,
+            policy=build_icache_policy(config.icache_policy),
             replacement=config.replacement,
         )
         self.wattch = WattchLite(wattch if wattch is not None else WattchParameters())
@@ -117,33 +125,34 @@ class Simulator:
             },
         )
 
-        dstats = self.dcache.stats
-        istats = self.icache.stats
+        def l1_metrics(stats) -> L1Metrics:
+            return L1Metrics(
+                loads=stats.loads,
+                stores=stats.stores,
+                load_misses=stats.load_misses,
+                misses=stats.misses,
+                predictions=stats.predictions,
+                correct_predictions=stats.correct_predictions,
+                second_probes=stats.second_probes,
+                kinds=dict(stats.access_kinds),
+            )
+
         return SimResult(
             benchmark=trace.name,
             config_key=self.config.key(),
-            instructions=len(trace),
-            cycles=core_stats.cycles,
-            committed=core_stats.committed,
-            branches=core_stats.branches,
-            branch_mispredicts=core_stats.branch_mispredicts,
-            fetch_cycles=core_stats.fetch_cycles,
-            dcache_loads=dstats.loads,
-            dcache_stores=dstats.stores,
-            dcache_load_misses=dstats.load_misses,
-            dcache_misses=dstats.misses,
-            dcache_predictions=dstats.predictions,
-            dcache_correct_predictions=dstats.correct_predictions,
-            dcache_second_probes=dstats.second_probes,
-            dcache_kinds=dict(dstats.access_kinds),
-            icache_fetches=istats.loads,
-            icache_misses=istats.misses,
-            icache_predictions=istats.predictions,
-            icache_correct_predictions=istats.correct_predictions,
-            icache_second_probes=istats.second_probes,
-            icache_kinds=dict(istats.access_kinds),
-            l2_accesses=l2_stats.accesses,
-            l2_misses=l2_stats.misses,
-            energy=energy,
-            processor_components=dict(report.components),
+            core=CoreMetrics(
+                instructions=len(trace),
+                cycles=core_stats.cycles,
+                committed=core_stats.committed,
+                branches=core_stats.branches,
+                branch_mispredicts=core_stats.branch_mispredicts,
+                fetch_cycles=core_stats.fetch_cycles,
+            ),
+            dcache=l1_metrics(self.dcache.stats),
+            icache=l1_metrics(self.icache.stats),
+            l2=L2Metrics(accesses=l2_stats.accesses, misses=l2_stats.misses),
+            energy=EnergyMetrics(
+                components=energy,
+                processor=dict(report.components),
+            ),
         )

@@ -109,19 +109,20 @@ class SweepResult:
                     "instructions": run.instructions,
                     "salt": run.salt,
                     "mode": run.mode,
-                    "cycles": result.cycles,
-                    "ipc": round(result.ipc, 6),
-                    "dcache_miss_rate": round(result.dcache_miss_rate, 6),
-                    "icache_miss_rate": round(result.icache_miss_rate, 6),
-                    "dcache_energy": round(result.dcache_energy, 6),
-                    "icache_energy": round(result.icache_energy, 6),
-                    "processor_energy": round(result.processor_energy, 6),
+                    "cycles": result.core.cycles,
+                    "ipc": round(result.core.ipc, 6),
+                    "dcache_miss_rate": round(result.dcache.miss_rate, 6),
+                    "icache_miss_rate": round(result.icache.miss_rate, 6),
+                    "dcache_energy": round(result.energy.dcache, 6),
+                    "icache_energy": round(result.energy.icache, 6),
+                    "processor_energy": round(result.energy.processor_total, 6),
                 }
             )
         return rows
 
     def to_json(self, indent: int = 2) -> str:
-        """Deterministic JSON document: the spec plus every full result.
+        """Deterministic JSON document: the spec plus every full result,
+        serialized in the structured nested-section schema.
 
         Execution accounting (``stats``) is deliberately excluded — it
         varies with cache warmth and job count, and the export must be

@@ -19,7 +19,7 @@ a stable program.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.utils.rng import DeterministicRng
 

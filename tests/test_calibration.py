@@ -76,8 +76,8 @@ class TestPredictionAccuracyCalibration:
         xor_cfg = SystemConfig().with_dcache_policy("waypred_xor")
         pc, xor = {}, {}
         for name in benchmark_names():
-            pc[name] = run_benchmark(name, pc_cfg, N_PIPELINE).dcache_prediction_accuracy
-            xor[name] = run_benchmark(name, xor_cfg, N_PIPELINE).dcache_prediction_accuracy
+            pc[name] = run_benchmark(name, pc_cfg, N_PIPELINE).dcache.prediction_accuracy
+            xor[name] = run_benchmark(name, xor_cfg, N_PIPELINE).dcache.prediction_accuracy
         return pc, xor
 
     def test_xor_beats_pc_on_average(self, accuracies):
@@ -102,7 +102,7 @@ class TestSelectiveDmCalibration:
         fractions = []
         for name in benchmark_names():
             result = run_benchmark(name, cfg, N_PIPELINE)
-            fractions.append(result.dcache_kind_fraction("direct_mapped"))
+            fractions.append(result.dcache.kind_fraction("direct_mapped"))
         # Paper: ~77% mean; "more than 60% ... even for applications
         # requiring set-associativity".
         assert arithmetic_mean(fractions) > 0.6
@@ -112,4 +112,4 @@ class TestSelectiveDmCalibration:
         cfg = SystemConfig().with_dcache_policy("seldm_waypred")
         result = run_benchmark("mgrid", cfg, N_PIPELINE)
         # Paper: "over 99% of cache accesses are nonconflicting" for mgrid.
-        assert result.dcache_kind_fraction("direct_mapped") > 0.9
+        assert result.dcache.kind_fraction("direct_mapped") > 0.9

@@ -1,17 +1,13 @@
 """Code-layout and control-flow-walker tests."""
 
-import pytest
 
 from repro.utils.rng import DeterministicRng
 from repro.workload.codegen import (
     CODE_BASE,
     ControlFlowWalker,
     TERM_CALL,
-    TERM_COND,
-    TERM_FALL,
     TERM_LOOP,
     TERM_RET,
-    build_layout,
     measure_block_weights,
 )
 from repro.workload.generator import TraceGenerator

@@ -57,7 +57,7 @@ class TestSystemConfig:
 class TestSimulatorRuns:
     def test_all_instructions_commit(self):
         result = Simulator(SystemConfig()).run(get_trace("gcc", N))
-        assert result.committed == N
+        assert result.core.committed == N
         assert result.cycles > 0
 
     def test_ipc_sane(self):
@@ -72,16 +72,16 @@ class TestSimulatorRuns:
 
     def test_energy_components_present(self):
         result = Simulator(SystemConfig()).run(get_trace("gcc", N))
-        assert result.energy["l1_dcache"] > 0
-        assert result.energy["l1_icache"] > 0
-        assert result.energy["l2"] > 0
-        assert result.processor_energy > result.energy["l1_dcache"]
+        assert result.energy.components["l1_dcache"] > 0
+        assert result.energy.components["l1_icache"] > 0
+        assert result.energy.components["l2"] > 0
+        assert result.energy.processor_total > result.energy.components["l1_dcache"]
 
     def test_memory_accounting_consistent(self):
         result = Simulator(SystemConfig()).run(get_trace("gcc", N))
         summary = get_trace("gcc", N).summary()
-        assert result.dcache_loads == summary.loads
-        assert result.dcache_stores == summary.stores
+        assert result.dcache.loads == summary.loads
+        assert result.dcache.stores == summary.stores
 
     def test_sequential_slower_than_parallel(self):
         base = Simulator(SystemConfig()).run(get_trace("gcc", N))
@@ -89,7 +89,7 @@ class TestSimulatorRuns:
             get_trace("gcc", N)
         )
         assert seq.cycles >= base.cycles
-        assert seq.dcache_energy < base.dcache_energy
+        assert seq.energy.dcache < base.energy.dcache
 
     def test_oracle_saves_energy_no_slowdown(self):
         base = Simulator(SystemConfig()).run(get_trace("gcc", N))
@@ -97,14 +97,14 @@ class TestSimulatorRuns:
             get_trace("gcc", N)
         )
         assert oracle.cycles == base.cycles
-        assert oracle.dcache_energy < 0.5 * base.dcache_energy
+        assert oracle.energy.dcache < 0.5 * base.energy.dcache
 
     def test_icache_waypred_saves_energy(self):
         base = Simulator(SystemConfig()).run(get_trace("gcc", N))
         tech = Simulator(SystemConfig().with_icache_policy("waypred")).run(
             get_trace("gcc", N)
         )
-        assert tech.icache_energy < base.icache_energy
+        assert tech.energy.icache < base.energy.icache
 
     def test_two_cycle_dcache_slower(self):
         base = Simulator(SystemConfig()).run(get_trace("gcc", N))
@@ -113,7 +113,7 @@ class TestSimulatorRuns:
 
     def test_cache_fraction_in_band(self):
         result = Simulator(SystemConfig()).run(get_trace("gcc", N))
-        assert 0.05 < result.cache_fraction_of_processor < 0.25
+        assert 0.05 < result.energy.cache_fraction_of_processor < 0.25
 
 
 class TestRelativeMetrics:

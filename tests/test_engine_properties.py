@@ -5,10 +5,8 @@ the access pattern, per-policy bounds on probes, latency, and energy
 must hold.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cache.geometry import CacheGeometry
 
 from tests.test_policies import make_engine
 

@@ -1,6 +1,5 @@
 """L2 cache and memory hierarchy tests."""
 
-import pytest
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.hierarchy import L2Cache, MainMemory, MemoryHierarchy

@@ -6,11 +6,15 @@ from repro.cache.geometry import CacheGeometry
 from repro.cache.hierarchy import L2Cache, MemoryHierarchy
 from repro.core.icache import (
     ICacheEngine,
-    IFetchWayPredictor,
     SOURCE_BTB,
     SOURCE_NONE,
     SOURCE_RAS,
     SOURCE_SAWP,
+)
+from repro.core.icache_policy import (
+    IFetchWayPredictor,
+    ParallelFetchPolicy,
+    WayPredictedFetchPolicy,
 )
 from repro.core.kinds import (
     KIND_BTB_CORRECT,
@@ -31,13 +35,14 @@ from repro.workload.generator import generate_trace
 def make_icache(way_predict=True, geometry=None):
     geometry = geometry or CacheGeometry(1024, 4, 32)
     l2 = L2Cache(CacheGeometry(64 * 1024, 8, 32))
+    policy = WayPredictedFetchPolicy() if way_predict else ParallelFetchPolicy()
     return ICacheEngine(
         geometry=geometry,
         hierarchy=MemoryHierarchy(l2),
         energy=CactiLite().energy_model(geometry),
         pred_energy=PredictionStructureEnergy.build(),
         ledger=EnergyLedger(),
-        way_predict=way_predict,
+        policy=policy,
     )
 
 

@@ -7,13 +7,11 @@ from repro.cache.hierarchy import L2Cache, MemoryHierarchy
 from repro.core.engine import DCacheEngine
 from repro.core.factory import build_dcache_policy
 from repro.core.kinds import (
-    KIND_DIRECT_MAPPED,
     KIND_MISPREDICTED,
     KIND_PARALLEL,
     KIND_SEQUENTIAL,
     KIND_WAY_PREDICTED,
 )
-from repro.core.selective_dm import SelectiveDmPolicy, VictimList
 from repro.core.spec import DCachePolicySpec, ICachePolicySpec
 from repro.energy.cactilite import CactiLite
 from repro.energy.ledger import EnergyLedger

@@ -4,7 +4,12 @@ import pytest
 
 from repro.cache.stats import CacheStats
 from repro.cpu.stats import CoreStats
-from repro.sim.results import SimResult
+from repro.sim.results import (
+    CoreMetrics,
+    EnergyMetrics,
+    L1Metrics,
+    SimResult,
+)
 
 
 class TestCacheStats:
@@ -61,40 +66,49 @@ class TestCoreStats:
 
 
 class TestSimResult:
-    def _result(self, **kwargs):
+    def _result(self, **sections):
         defaults = dict(
-            benchmark="x", config_key="k", instructions=100, cycles=50, committed=100
+            benchmark="x",
+            config_key="k",
+            core=CoreMetrics(instructions=100, cycles=50, committed=100),
         )
-        defaults.update(kwargs)
+        defaults.update(sections)
         return SimResult(**defaults)
 
     def test_ipc(self):
-        assert self._result().ipc == pytest.approx(2.0)
+        result = self._result()
+        assert result.core.ipc == pytest.approx(2.0)
+        assert result.ipc == pytest.approx(2.0)  # headline convenience
+        assert result.cycles == 50
 
     def test_dcache_rates(self):
         result = self._result(
-            dcache_loads=10, dcache_stores=10, dcache_misses=4, dcache_load_misses=3
+            dcache=L1Metrics(loads=10, stores=10, misses=4, load_misses=3)
         )
-        assert result.dcache_miss_rate == pytest.approx(0.2)
-        assert result.dcache_load_miss_rate == pytest.approx(0.3)
+        assert result.dcache.miss_rate == pytest.approx(0.2)
+        assert result.dcache.load_miss_rate == pytest.approx(0.3)
 
     def test_energy_includes_prediction_overhead(self):
         result = self._result(
-            energy={"l1_dcache": 10.0, "prediction_dcache": 0.5,
-                    "l1_icache": 8.0, "prediction_icache": 0.25}
+            energy=EnergyMetrics(
+                components={"l1_dcache": 10.0, "prediction_dcache": 0.5,
+                            "l1_icache": 8.0, "prediction_icache": 0.25}
+            )
         )
-        assert result.dcache_energy == pytest.approx(10.5)
-        assert result.icache_energy == pytest.approx(8.25)
+        assert result.energy.dcache == pytest.approx(10.5)
+        assert result.energy.icache == pytest.approx(8.25)
 
     def test_processor_energy_sums_components(self):
-        result = self._result(processor_components={"clock": 5.0, "alu": 2.0})
-        assert result.processor_energy == pytest.approx(7.0)
+        result = self._result(
+            energy=EnergyMetrics(processor={"clock": 5.0, "alu": 2.0})
+        )
+        assert result.energy.processor_total == pytest.approx(7.0)
 
     def test_kind_fractions(self):
-        result = self._result(dcache_kinds={"parallel": 3, "mispredicted": 1})
-        assert result.dcache_kind_fraction("parallel") == pytest.approx(0.75)
-        assert result.dcache_kind_fraction("sequential") == 0.0
+        result = self._result(dcache=L1Metrics(kinds={"parallel": 3, "mispredicted": 1}))
+        assert result.dcache.kind_fraction("parallel") == pytest.approx(0.75)
+        assert result.dcache.kind_fraction("sequential") == 0.0
 
     def test_prediction_accuracy(self):
-        result = self._result(dcache_predictions=10, dcache_correct_predictions=7)
-        assert result.dcache_prediction_accuracy == pytest.approx(0.7)
+        result = self._result(dcache=L1Metrics(predictions=10, correct_predictions=7))
+        assert result.dcache.prediction_accuracy == pytest.approx(0.7)

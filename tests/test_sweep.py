@@ -8,7 +8,7 @@ import pytest
 from repro.sim import runner
 from repro.sim.config import SystemConfig
 from repro.sim.functional import measure_miss_rate
-from repro.sim.results import SimResult
+from repro.sim.results import CoreMetrics, EnergyMetrics, L1Metrics, SimResult
 from repro.sweep.analyze import DesignPoint, design_space_spec, render_summaries, summarize
 from repro.sweep.engine import SweepEngine, default_jobs
 from repro.sweep.result import SweepResult, SweepStats
@@ -206,9 +206,9 @@ class TestMissrateMode:
         result = SweepEngine(jobs=1, use_cache=False).run_one(run)
         trace = runner.get_trace("gcc", 20_000)
         expected = measure_miss_rate(trace, config.dcache.geometry())
-        assert result.dcache_misses == expected.misses
-        assert result.dcache_loads == expected.load_accesses
-        assert result.dcache_miss_rate == pytest.approx(expected.miss_rate)
+        assert result.dcache.misses == expected.misses
+        assert result.dcache.loads == expected.load_accesses
+        assert result.dcache.miss_rate == pytest.approx(expected.miss_rate)
 
     def test_unknown_mode_rejected_by_backend(self):
         with pytest.raises(ValueError, match="unknown run mode"):
@@ -222,7 +222,7 @@ class TestSweepResult:
         baseline = SystemConfig()
         technique = baseline.with_dcache_policy("seldm_waypred")
         tech, base = sweep.pair("gcc", technique, baseline, INSTRUCTIONS)
-        assert tech.dcache_energy < base.dcache_energy
+        assert tech.energy.dcache < base.energy.dcache
 
     def test_missing_run_raises_with_context(self):
         sweep = SweepResult(spec=SweepSpec("empty"))
@@ -252,12 +252,9 @@ class TestJsonExport:
         result = SimResult(
             benchmark="gcc",
             config_key=config.key(),
-            instructions=1000,
-            cycles=2000,
-            committed=1000,
-            dcache_loads=100,
-            dcache_misses=7,
-            energy={"l1_dcache": 12.5},
+            core=CoreMetrics(instructions=1000, cycles=2000, committed=1000),
+            dcache=L1Metrics(loads=100, misses=7),
+            energy=EnergyMetrics(components={"l1_dcache": 12.5}),
         )
         return SweepResult(spec=SweepSpec("golden", (run,)), results={run: result})
 
@@ -268,8 +265,8 @@ class TestJsonExport:
         assert entry["benchmark"] == "gcc"
         assert entry["instructions"] == 1000
         assert entry["mode"] == "sim"
-        assert entry["result"]["cycles"] == 2000
-        assert entry["result"]["energy"] == {"l1_dcache": 12.5}
+        assert entry["result"]["core"]["cycles"] == 2000
+        assert entry["result"]["energy"]["components"] == {"l1_dcache": 12.5}
 
     def test_golden_bytes_stable(self):
         """The export is byte-stable: sorted keys, fixed indent, no
@@ -317,14 +314,31 @@ class TestSchemaVersionedCache:
         assert runner.load_cached("gcc", SystemConfig(), INSTRUCTIONS) is None
 
     def test_schema_version_tracks_fields(self):
-        from dataclasses import fields
-
-        names = ",".join(sorted(f.name for f in fields(SimResult)))
         import hashlib
 
+        names = ",".join(SimResult.flat_field_names())
         assert runner.SCHEMA_VERSION == hashlib.sha256(
             names.encode("utf-8")
         ).hexdigest()[:12]
+
+    def test_schema_version_bumped_from_v2(self):
+        """The nested-sections redesign must roll the disk-cache schema:
+        the v2 (flat-field) version hash no longer matches."""
+        import hashlib
+
+        v2_fields = (
+            "benchmark", "branch_mispredicts", "branches", "committed",
+            "config_key", "cycles", "dcache_correct_predictions",
+            "dcache_kinds", "dcache_load_misses", "dcache_loads",
+            "dcache_misses", "dcache_predictions", "dcache_second_probes",
+            "dcache_stores", "energy", "fetch_cycles",
+            "icache_correct_predictions", "icache_fetches", "icache_kinds",
+            "icache_misses", "icache_predictions", "icache_second_probes",
+            "instructions", "l2_accesses", "l2_misses",
+            "processor_components",
+        )
+        v2 = hashlib.sha256(",".join(v2_fields).encode("utf-8")).hexdigest()[:12]
+        assert runner.SCHEMA_VERSION != v2
 
 
 class TestAnalyze:

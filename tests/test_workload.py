@@ -1,11 +1,11 @@
 """Workload generation: determinism, coherence, and stream behaviour."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import strategies as st
 
 from repro.utils.rng import DeterministicRng
 from repro.workload.generator import TraceGenerator, generate_trace
-from repro.workload.instr import OP_BRANCH, OP_CALL, OP_LOAD, OP_RET, OP_STORE
+from repro.workload.instr import OP_LOAD, OP_STORE
 from repro.workload.profiles import BENCHMARKS, benchmark_names, get_profile
 from repro.workload.streams import (
     ChaseStream,
