@@ -1,0 +1,106 @@
+"""Backend bench: reference vs fast on the Table-4 miss-rate workload.
+
+The first point on the repository's performance trajectory.  The
+workload is exactly Table 4's grid — every benchmark at 60k dynamic
+instructions through both the direct-mapped and the 4-way 16K d-cache,
+functional miss-rate mode — executed once per backend with caching
+disabled, traces pre-generated (both backends share the runner's trace
+memo, so neither pays generation inside the timed region; the fast
+backend's one-time trace encoding *is* timed, as it would be in a real
+sweep).
+
+Run standalone to (re)write ``BENCH_backend.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py
+
+or through pytest-benchmark like the other benches.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.experiments.tables import _table4_configs, _table4_instructions
+from repro.sim import runner
+from repro.workload.profiles import benchmark_names
+
+#: Minimum acceptable speedup of the fast backend on this workload.
+SPEEDUP_FLOOR = 3.0
+
+
+def _workload():
+    """(benchmark, config) points of the Table-4 miss-rate sweep."""
+    from repro.experiments.common import ExperimentSettings
+
+    instructions = _table4_instructions(ExperimentSettings())
+    return [
+        (benchmark, config, instructions)
+        for benchmark in benchmark_names()
+        for config in _table4_configs()
+    ]
+
+
+def _run_backend(points, backend: str) -> None:
+    for benchmark, config, instructions in points:
+        runner.execute(benchmark, config, instructions, mode="missrate", backend=backend)
+
+
+def _time_backend(points, backend: str) -> float:
+    started = time.perf_counter()
+    _run_backend(points, backend)
+    return time.perf_counter() - started
+
+
+def measure() -> dict:
+    """Time both backends over the Table-4 workload; return the record."""
+    points = _workload()
+    for benchmark, _config, instructions in points:
+        runner.get_trace(benchmark, instructions)  # pre-generate, shared
+    reference_seconds = _time_backend(points, "reference")
+    fast_seconds = _time_backend(points, "fast")
+    return {
+        "bench": "table4-missrate",
+        "workload": {
+            "benchmarks": list(benchmark_names()),
+            "configs": [config.describe() for config in _table4_configs()],
+            "instructions": points[0][2],
+            "mode": "missrate",
+            "runs": len(points),
+        },
+        "reference_seconds": round(reference_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "speedup": round(reference_seconds / fast_seconds, 2),
+        "python": platform.python_version(),
+    }
+
+
+def test_fast_backend_speedup(benchmark):
+    """Fast backend clears the 3x floor on the Table-4 sweep."""
+    points = _workload()
+    for bench_name, _config, instructions in points:
+        runner.get_trace(bench_name, instructions)
+    reference_seconds = _time_backend(points, "reference")
+    fast_seconds = run_once(benchmark, lambda: _time_backend(points, "fast"))
+    speedup = reference_seconds / fast_seconds
+    print(f"\nreference {reference_seconds:.3f}s fast {fast_seconds:.3f}s "
+          f"speedup {speedup:.2f}x")
+    assert speedup >= SPEEDUP_FLOOR
+
+
+def main() -> int:
+    record = measure()
+    out = Path(__file__).resolve().parent.parent / "BENCH_backend.json"
+    out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {out}")
+    return 0 if record["speedup"] >= SPEEDUP_FLOOR else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,8 @@ Subpackages:
 * ``repro.workload``   — synthetic SPEC-like trace generation.
 * ``repro.cpu``        — trace-driven out-of-order core.
 * ``repro.sim``        — configs, simulator, cached runner.
+* ``repro.fastsim``    — the batched fast backend (``backend="fast"``
+  everywhere a run is named), byte-identical to the reference engines.
 * ``repro.sweep``      — declarative run grids with parallel execution.
 * ``repro.experiments``— one module per paper table/figure.
 
@@ -57,7 +59,7 @@ from repro.sweep.spec import RunSpec, SweepSpec
 from repro.workload.generator import generate_trace
 from repro.workload.profiles import benchmark_names, get_profile
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CacheLevelConfig",

@@ -122,6 +122,7 @@ class Machine:
         instructions: int = 50_000,
         salt: int = 0,
         use_cache: bool = True,
+        backend: str = "reference",
     ) -> SimResult:
         """Run one workload on this machine.
 
@@ -131,19 +132,22 @@ class Machine:
             instructions: trace length when ``trace`` is a name.
             salt: trace-generation salt when ``trace`` is a name.
             use_cache: resolve benchmark runs against the memo caches.
+            backend: ``"reference"`` or ``"fast"`` (the batched backend;
+                results are byte-identical by contract).
 
         Returns:
             The structured :class:`SimResult`.
         """
         if isinstance(trace, Trace):
-            return Simulator(self.config).run(trace)
+            return Simulator(self.config, backend=backend).run(trace)
         return run_benchmark(
-            trace, self.config, instructions, salt=salt, use_cache=use_cache
+            trace, self.config, instructions, salt=salt, use_cache=use_cache,
+            backend=backend,
         )
 
-    def simulator(self) -> Simulator:
+    def simulator(self, backend: str = "reference") -> Simulator:
         """A fresh (single-use) simulator for this configuration."""
-        return Simulator(self.config)
+        return Simulator(self.config, backend=backend)
 
     # -------------------------------------------------------------- #
     # Introspection

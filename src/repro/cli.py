@@ -18,12 +18,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.registry import SIDES, iter_policies
 from repro.experiments.common import settings_from_env
+from repro.sim.runner import BACKENDS
 from repro.experiments.registry import (
     experiment_json,
     get_experiment,
@@ -84,6 +87,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="emit one JSON array of experiment documents instead of ASCII",
     )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help=(
+            "simulation backend: 'reference' (object-dispatch engines) or "
+            "'fast' (batched kernels; byte-identical reports). "
+            "Default: $REPRO_BACKEND or reference"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -98,6 +111,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(error, file=sys.stderr)
         return 2
     settings = settings_from_env()
+    if args.backend is not None:
+        settings = replace(settings, backend=args.backend)
+    if settings.backend not in BACKENDS:  # bad $REPRO_BACKEND
+        print(
+            f"unknown backend {settings.backend!r}; valid: {BACKENDS}",
+            file=sys.stderr,
+        )
+        return 2
 
     ids = args.experiments or list_experiments()
     try:
@@ -221,7 +242,24 @@ def sweep_main(argv: List[str]) -> int:
                         help="worker processes (default: $REPRO_JOBS or 1)")
     parser.add_argument("--json", action="store_true",
                         help="emit the summary (and per-benchmark detail) as JSON")
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="simulation backend (default: $REPRO_BACKEND or reference)",
+    )
     args = parser.parse_args(argv)
+    # Resolve the backend from the environment directly: the sweep
+    # subcommand sizes its grid from its own flags, so it must not
+    # inherit settings_from_env()'s REPRO_SCALE parsing (or its errors).
+    backend = (
+        args.backend
+        if args.backend is not None
+        else os.environ.get("REPRO_BACKEND", "reference")
+    )
+    if backend not in BACKENDS:  # bad $REPRO_BACKEND
+        print(f"unknown backend {backend!r}; valid: {BACKENDS}", file=sys.stderr)
+        return 2
 
     if args.benchmarks is not None and not args.benchmarks:
         print("--benchmarks given but empty: nothing to sweep", file=sys.stderr)
@@ -270,13 +308,14 @@ def sweep_main(argv: List[str]) -> int:
         return 2
     try:
         spec = design_space_spec(points, benchmarks, args.instructions, args.salt,
-                                 name="adhoc-sweep")
+                                 name="adhoc-sweep", backend=backend)
         sweep = engine.run(spec)
     except (ValueError, KeyError) as error:  # bad instructions, engine errors
         print(error, file=sys.stderr)
         return 2
     summaries = summarize(
-        sweep, points, benchmarks, args.instructions, args.component, args.salt
+        sweep, points, benchmarks, args.instructions, args.component, args.salt,
+        backend=backend,
     )
 
     if args.json:
@@ -286,6 +325,7 @@ def sweep_main(argv: List[str]) -> int:
             "benchmarks": list(benchmarks),
             "instructions": args.instructions,
             "salt": args.salt,
+            "backend": backend,
             "points": [
                 {
                     "label": summary.label,

@@ -36,23 +36,32 @@ class ExperimentSettings:
     Attributes:
         instructions: trace length per (benchmark, config) run.
         benchmarks: which applications to include (paper order).
+        backend: simulation backend every run uses (``"reference"`` or
+            the batched ``"fast"`` backend; reports are identical by
+            the fast backend's equivalence contract).
     """
 
     instructions: int = DEFAULT_INSTRUCTIONS
     benchmarks: Sequence[str] = field(default_factory=lambda: benchmark_names())
+    backend: str = "reference"
 
 
 def settings_from_env() -> ExperimentSettings:
-    """Build settings honoring ``REPRO_SCALE`` and ``REPRO_BENCHMARKS``.
+    """Build settings honoring ``REPRO_SCALE``, ``REPRO_BENCHMARKS``,
+    and ``REPRO_BACKEND``.
 
     ``REPRO_SCALE=2.0`` doubles trace lengths; ``REPRO_BENCHMARKS`` is a
-    comma-separated subset of application names.
+    comma-separated subset of application names; ``REPRO_BACKEND=fast``
+    selects the batched backend (the CLI's ``--backend`` overrides it).
     """
     scale = float(os.environ.get("REPRO_SCALE", "1.0"))
     instructions = max(2_000, int(DEFAULT_INSTRUCTIONS * scale))
     raw = os.environ.get("REPRO_BENCHMARKS", "")
     benchmarks = tuple(name for name in raw.split(",") if name) or benchmark_names()
-    return ExperimentSettings(instructions=instructions, benchmarks=benchmarks)
+    backend = os.environ.get("REPRO_BACKEND", "reference")
+    return ExperimentSettings(
+        instructions=instructions, benchmarks=benchmarks, backend=backend
+    )
 
 
 def benchmark_list(settings: Optional[ExperimentSettings] = None) -> Sequence[str]:

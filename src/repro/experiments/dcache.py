@@ -55,7 +55,8 @@ def comparison_spec(
         configs.append(baseline)
         configs.append(technique)
     return SweepSpec.from_grid(
-        name, settings.benchmarks, configs, settings.instructions
+        name, settings.benchmarks, configs, settings.instructions,
+        backend=settings.backend,
     )
 
 
@@ -99,7 +100,10 @@ def comparison_rows(
     for label, technique, baseline in comparisons:
         rows: List[MetricRow] = []
         for bench in settings.benchmarks:
-            tech, base = sweep.pair(bench, technique, baseline, settings.instructions)
+            tech, base = sweep.pair(
+                bench, technique, baseline, settings.instructions,
+                backend=settings.backend,
+            )
             rows.append(
                 MetricRow(
                     benchmark=bench,

@@ -136,6 +136,7 @@ def sweep_spec(settings: Optional[ExperimentSettings] = None) -> SweepSpec:
         _table4_configs(),
         _table4_instructions(settings),
         mode="missrate",
+        backend=settings.backend,
     )
 
 
@@ -152,8 +153,10 @@ def table4_rows(
     rows = []
     for name in settings.benchmarks:
         profile = BENCHMARKS[name]
-        dm = sweep.get(name, dm_config, instructions, mode="missrate")
-        sa = sweep.get(name, sa_config, instructions, mode="missrate")
+        dm = sweep.get(name, dm_config, instructions, mode="missrate",
+                       backend=settings.backend)
+        sa = sweep.get(name, sa_config, instructions, mode="missrate",
+                       backend=settings.backend)
         rows.append(
             Table4Row(
                 benchmark=name,

@@ -1,0 +1,41 @@
+"""The batched fast-path simulation backend.
+
+Every result the project reports can be produced by one of two
+backends:
+
+* ``"reference"`` — the original object-dispatch engines: per-access
+  :class:`~repro.core.engine.DCacheEngine` /
+  :class:`~repro.core.icache.ICacheEngine` driven over ``Instr``
+  objects.  Maximally introspectable, layer by layer.
+* ``"fast"`` — this package.  Traces are pre-encoded into flat arrays
+  (:mod:`repro.workload.encode`), the functional miss-rate path runs as
+  a batched per-set replay (:mod:`repro.fastsim.missrate`), and the full
+  simulator swaps in array-state L1 engines with per-policy inlined
+  kernels (:mod:`repro.fastsim.dcache`, :mod:`repro.fastsim.icache`)
+  for every registered d-cache kind and the i-cache fetch family.
+
+The fast backend's contract is *byte-identical results*: the same
+:class:`~repro.sim.functional.MissRateResult` and the same
+:class:`~repro.sim.results.SimResult` (``to_flat()`` equality, energy
+floats included — the kernels accumulate energy in the reference
+engines' exact float-addition order).  The differential property suite
+(``tests/test_differential.py``) and the golden-trace equivalence tests
+(``tests/test_fastsim.py``) enforce the contract for every policy kind
+in the registry; policy kinds without a fast kernel (third-party
+plugins) raise :class:`FastBackendUnsupported` and the simulator falls
+back to the reference engine for that cache side, keeping results
+correct by construction.
+"""
+
+from repro.fastsim.dcache import FastDCacheEngine
+from repro.fastsim.icache import FastICacheEngine
+from repro.fastsim.kernels import FastBackendUnsupported, fast_dcache_kinds
+from repro.fastsim.missrate import fast_miss_rate
+
+__all__ = [
+    "FastBackendUnsupported",
+    "FastDCacheEngine",
+    "FastICacheEngine",
+    "fast_dcache_kinds",
+    "fast_miss_rate",
+]

@@ -1,0 +1,299 @@
+"""Array-state L1 d-cache engine with inlined policy kernels.
+
+Drop-in replacement for :class:`~repro.core.engine.DCacheEngine`: same
+constructor shape (a :class:`~repro.core.spec.PolicySpec` instead of a
+built policy object), same ``load``/``store``/``stats`` surface, same
+outcomes — but the tag array is a list of per-set block-address lists,
+the policy is a compiled :class:`~repro.fastsim.kernels.DCacheKernel`,
+and per-event energies are precomputed floats accumulated locally in
+the reference engine's exact charge order (flushed to the shared ledger
+by :meth:`flush_energy`), so results are byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cache.replacement import make_replacement
+from repro.cache.stats import CacheStats
+from repro.core.engine import LoadOutcome, StoreOutcome
+from repro.core.kinds import KIND_MISPREDICTED
+from repro.core.spec import PolicySpec
+from repro.energy.cactilite import CacheEnergyModel
+from repro.energy.ledger import EnergyLedger
+from repro.energy.tables import PredictionStructureEnergy
+from repro.fastsim.kernels import (
+    MODE_ORACLE,
+    MODE_PARALLEL,
+    MODE_SEQUENTIAL,
+    make_dcache_kernel,
+)
+from repro.utils.bitops import bit_mask
+
+
+class FastDCacheEngine:
+    """L1 data cache: flat arrays + per-policy kernel dispatch.
+
+    Args:
+        geometry: L1 geometry.
+        spec: the d-cache policy spec (must name a built-in kind).
+        hierarchy: backing L2 + memory (shared with the i-cache).
+        energy: per-event energies for this geometry.
+        pred_energy: energies of the prediction structures.
+        ledger: energy accumulation target (see :meth:`flush_energy`).
+        base_latency: hit latency in cycles.
+        replacement: replacement policy name; LRU runs inline, the
+            other registered names drive the real per-set policy
+            objects (identical victims, including ``random``'s
+            deterministic stream).
+
+    Raises:
+        FastBackendUnsupported: when ``spec.kind`` has no fast kernel.
+    """
+
+    ENERGY_COMPONENT = "l1_dcache"
+    PREDICTION_COMPONENT = "prediction_dcache"
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        spec: PolicySpec,
+        hierarchy: MemoryHierarchy,
+        energy: CacheEnergyModel,
+        pred_energy: PredictionStructureEnergy,
+        ledger: EnergyLedger,
+        base_latency: int = 1,
+        replacement: str = "lru",
+    ) -> None:
+        self.geometry = geometry
+        self.fields = geometry.fields
+        self.hierarchy = hierarchy
+        self.energy = energy
+        self.pred_energy = pred_energy
+        self.ledger = ledger
+        self.base_latency = base_latency
+        self.stats = CacheStats()
+
+        kernel = make_dcache_kernel(spec.kind, spec.as_dict(), self.fields)
+        self._plan = kernel.plan
+        self._observe = kernel.observe
+        self._placement = kernel.placement
+        self._on_eviction = kernel.on_eviction
+        self._uses_victim_list = kernel.uses_victim_list
+
+        self._assoc = geometry.associativity
+        self._offset_bits = self.fields.offset_bits
+        self._index_bits = self.fields.index_bits
+        self._set_mask = bit_mask(self.fields.index_bits)
+        self._way_mask = bit_mask(self.fields.way_bits)
+        num_sets = geometry.num_sets
+        self._tags = [[-1] * self._assoc for _ in range(num_sets)]
+        self._dirty = [[False] * self._assoc for _ in range(num_sets)]
+        if replacement == "lru":
+            self._orders = [list(range(self._assoc)) for _ in range(num_sets)]
+            self._repl = None
+        else:
+            self._orders = None
+            self._repl = [make_replacement(replacement, self._assoc) for _ in range(num_sets)]
+
+        # Precomputed per-event energies (identical floats to the
+        # reference engine's per-call computations).
+        self._e_parallel = energy.parallel_read()
+        self._e_oneway = energy.one_way_read()
+        self._e_extra = energy.extra_probe()
+        self._e_store = energy.store_write()
+        self._e_fill = energy.fill_write()
+        self._e_tagmiss = energy.addr_route + energy.tag_all_read
+        self._e_table = pred_energy.table_access
+        self._e_vsearch = pred_energy.victim_list_search
+
+        # Local accumulators, flushed once: same additions in the same
+        # order as the reference ledger, so the totals are bit-equal.
+        self._e_cache = 0.0
+        self._e_pred = 0.0
+        self._fill_way = -1
+
+    # ------------------------------------------------------------------ #
+
+    def flush_energy(self) -> None:
+        """Publish accumulated energy into the shared ledger.
+
+        Charges only when events occurred, matching the reference
+        engine, which never creates a ledger component it didn't
+        charge.
+        """
+        if self._e_cache:
+            self.ledger.charge(self.ENERGY_COMPONENT, self._e_cache)
+            self._e_cache = 0.0
+        if self._e_pred:
+            self.ledger.charge(self.PREDICTION_COMPONENT, self._e_pred)
+            self._e_pred = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Loads
+    # ------------------------------------------------------------------ #
+
+    def load(self, pc: int, addr: int, xor_handle: int = 0) -> LoadOutcome:
+        """Perform a load; mirrors ``DCacheEngine.load`` event for event."""
+        stats = self.stats
+        stats.loads += 1
+        stats.tag_probes += 1
+        mode, plan_way, kind, table_reads = self._plan(pc, addr, xor_handle)
+        if table_reads:
+            self._e_pred += table_reads * self._e_table
+
+        block = addr >> self._offset_bits
+        index = block & self._set_mask
+        tags = self._tags[index]
+        try:
+            resident_way: Optional[int] = tags.index(block)
+            hit = True
+        except ValueError:
+            resident_way = None
+            hit = False
+        dm_way = (block >> self._index_bits) & self._way_mask
+
+        base = self.base_latency
+        if mode == MODE_PARALLEL:
+            self._e_cache += self._e_parallel
+            stats.data_way_reads += self._assoc
+            latency = base
+        elif mode == MODE_SEQUENTIAL:
+            if hit:
+                self._e_cache += self._e_oneway
+                stats.data_way_reads += 1
+            else:
+                # Tag array says miss; no data way is probed.
+                self._e_cache += self._e_tagmiss
+            stats.extra_cycles += 1
+            latency = base + 1
+        elif mode == MODE_ORACLE:
+            self._e_cache += self._e_oneway
+            stats.data_way_reads += 1
+            if hit:
+                stats.predictions += 1
+                stats.correct_predictions += 1
+            latency = base
+        else:  # MODE_SINGLE: a predicted or direct-mapped way
+            probed_way = (plan_way if plan_way >= 0 else dm_way) % self._assoc
+            self._e_cache += self._e_oneway
+            stats.data_way_reads += 1
+            latency = base
+            if hit:
+                stats.predictions += 1
+                if probed_way == resident_way:
+                    stats.correct_predictions += 1
+                else:
+                    # Misprediction: second probe of the correct way.
+                    self._e_cache += self._e_extra
+                    stats.data_way_reads += 1
+                    stats.second_probes += 1
+                    stats.extra_cycles += 1
+                    latency = base + 1
+                    kind = KIND_MISPREDICTED
+
+        if hit:
+            stats.load_hits += 1
+            self._touch(index, resident_way)
+            final_way = resident_way
+        else:
+            latency += self._miss_path(addr, block, index, is_store=False)
+            final_way = self._fill_way
+
+        kinds = stats.access_kinds
+        kinds[kind] = kinds.get(kind, 0) + 1
+        writes = self._observe(pc, addr, xor_handle, resident_way, final_way, dm_way)
+        if writes:
+            self._e_pred += writes * self._e_table
+        return LoadOutcome(hit=hit, latency=latency, kind=kind, way=final_way)
+
+    # ------------------------------------------------------------------ #
+    # Stores
+    # ------------------------------------------------------------------ #
+
+    def store(self, pc: int, addr: int) -> StoreOutcome:
+        """Perform a store; mirrors ``DCacheEngine.store`` event for event."""
+        stats = self.stats
+        stats.stores += 1
+        stats.tag_probes += 1
+        block = addr >> self._offset_bits
+        index = block & self._set_mask
+        tags = self._tags[index]
+        try:
+            way = tags.index(block)
+            hit = True
+        except ValueError:
+            hit = False
+        latency = self.base_latency
+        if hit:
+            stats.store_hits += 1
+            self._e_cache += self._e_store
+            stats.data_way_writes += 1
+            self._touch(index, way)
+            self._dirty[index][way] = True
+        else:
+            # Write-allocate: fetch the block, then write into it.
+            self._e_cache += self._e_tagmiss
+            latency += self._miss_path(addr, block, index, is_store=True)
+            self._e_cache += self._e_store
+            stats.data_way_writes += 1
+            self._dirty[index][self._fill_way] = True
+        return StoreOutcome(hit=hit, latency=latency)
+
+    # ------------------------------------------------------------------ #
+    # Shared paths
+    # ------------------------------------------------------------------ #
+
+    def _touch(self, index: int, way: int) -> None:
+        if self._orders is not None:
+            order = self._orders[index]
+            order.remove(way)
+            order.insert(0, way)
+        else:
+            self._repl[index].touch(way)
+
+    def _miss_path(self, addr: int, block: int, index: int, is_store: bool) -> int:
+        """Fetch from L2/memory and install; returns the added latency."""
+        if is_store:
+            added = self.hierarchy.store_block(addr)
+        else:
+            added = self.hierarchy.fetch_block(addr)
+        way, _dm_placed = self._placement(addr)
+        if self._uses_victim_list:
+            self._e_pred += self._e_vsearch
+        tags = self._tags[index]
+        if way is None:
+            try:
+                way = tags.index(-1)  # lowest invalid way first
+            except ValueError:
+                way = (
+                    self._orders[index][-1]
+                    if self._orders is not None
+                    else self._repl[index].victim()
+                )
+        evicted = tags[way]  # prior occupant's block address (or -1)
+        dirty = self._dirty[index]
+        evicted_dirty = dirty[way]
+        tags[way] = block
+        dirty[way] = False
+        if self._orders is not None:
+            order = self._orders[index]
+            order.remove(way)
+            order.insert(0, way)
+        else:
+            self._repl[index].fill(way)
+        self.stats.fills += 1
+        self._e_cache += self._e_fill
+        self.stats.data_way_writes += 1
+        if evicted != -1:
+            self.stats.evictions += 1
+            searches = self._on_eviction(evicted)
+            if searches:
+                self._e_pred += searches * self._e_vsearch
+            if evicted_dirty:
+                self.stats.writebacks += 1
+                self.hierarchy.absorb_writeback(evicted << self._offset_bits)
+        self._fill_way = way
+        return added

@@ -1,0 +1,236 @@
+"""Array-state L1 i-cache engine for the fetch-policy family.
+
+Drop-in replacement for :class:`~repro.core.icache.ICacheEngine`
+covering both registered i-cache policies (``parallel`` and the
+``waypred`` SAWP+BTB+RAS family).  The fetch unit drives it through the
+same surface — ``fetch``/``way_of``/``way_predictor``/``way_predict`` —
+and gets byte-identical outcomes; energy accumulates locally in the
+reference order and flushes via :meth:`flush_energy`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cache.replacement import make_replacement
+from repro.cache.stats import CacheStats
+from repro.core.icache import (
+    SOURCE_BTB,
+    SOURCE_NONE,
+    SOURCE_RAS,
+    SOURCE_SAWP,
+    FetchOutcome,
+)
+from repro.core.icache_policy import IFetchWayPredictor
+from repro.core.kinds import (
+    KIND_BTB_CORRECT,
+    KIND_MISPREDICTED,
+    KIND_NO_PREDICTION,
+    KIND_PARALLEL,
+    KIND_SAWP_CORRECT,
+)
+from repro.core.spec import PolicySpec
+from repro.energy.cactilite import CacheEnergyModel
+from repro.energy.ledger import EnergyLedger
+from repro.energy.tables import PredictionStructureEnergy
+from repro.fastsim.kernels import FastBackendUnsupported
+from repro.utils.bitops import bit_mask
+
+#: Correct-prediction kind per source (the paper groups BTB and RAS).
+_CORRECT_KIND = {
+    SOURCE_SAWP: KIND_SAWP_CORRECT,
+    SOURCE_BTB: KIND_BTB_CORRECT,
+    SOURCE_RAS: KIND_BTB_CORRECT,
+}
+
+
+class FastICacheEngine:
+    """L1 instruction cache: flat arrays + inlined fetch policy.
+
+    Raises:
+        FastBackendUnsupported: for i-cache policy kinds outside the
+            built-in family.
+    """
+
+    ENERGY_COMPONENT = "l1_icache"
+    PREDICTION_COMPONENT = "prediction_icache"
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        hierarchy: MemoryHierarchy,
+        energy: CacheEnergyModel,
+        pred_energy: PredictionStructureEnergy,
+        ledger: EnergyLedger,
+        base_latency: int = 1,
+        spec: Optional[PolicySpec] = None,
+        replacement: str = "lru",
+    ) -> None:
+        self.geometry = geometry
+        self.fields = geometry.fields
+        self.hierarchy = hierarchy
+        self.energy = energy
+        self.pred_energy = pred_energy
+        self.ledger = ledger
+        self.base_latency = base_latency
+        self.stats = CacheStats()
+
+        kind = spec.kind if spec is not None else "waypred"
+        if kind == "waypred":
+            entries = spec.get("sawp_entries", 1024) if spec is not None else 1024
+            self.way_predictor: Optional[IFetchWayPredictor] = IFetchWayPredictor(entries)
+            self.way_predict = True
+        elif kind == "parallel":
+            self.way_predictor = None
+            self.way_predict = False
+        else:
+            raise FastBackendUnsupported(
+                f"no fast kernel for icache policy {kind!r}; "
+                "supported: ('parallel', 'waypred')"
+            )
+
+        self._assoc = geometry.associativity
+        self._offset_bits = self.fields.offset_bits
+        self._set_mask = bit_mask(self.fields.index_bits)
+        num_sets = geometry.num_sets
+        self._tags = [[-1] * self._assoc for _ in range(num_sets)]
+        if replacement == "lru":
+            self._orders = [list(range(self._assoc)) for _ in range(num_sets)]
+            self._repl = None
+        else:
+            self._orders = None
+            self._repl = [make_replacement(replacement, self._assoc) for _ in range(num_sets)]
+
+        self._e_parallel = energy.parallel_read()
+        self._e_oneway = energy.one_way_read()
+        self._e_extra = energy.extra_probe()
+        self._e_fill = energy.fill_write()
+        self._e_table = pred_energy.table_access
+        self._e_way_field = pred_energy.way_field_access
+
+        self._e_cache = 0.0
+        self._e_pred = 0.0
+        self._fill_way = -1
+
+    # ------------------------------------------------------------------ #
+
+    def flush_energy(self) -> None:
+        """Publish accumulated energy into the shared ledger."""
+        if self._e_cache:
+            self.ledger.charge(self.ENERGY_COMPONENT, self._e_cache)
+            self._e_cache = 0.0
+        if self._e_pred:
+            self.ledger.charge(self.PREDICTION_COMPONENT, self._e_pred)
+            self._e_pred = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def fetch(self, pc: int, predicted_way: Optional[int], source: str) -> FetchOutcome:
+        """Fetch the block containing ``pc``; mirrors ``ICacheEngine.fetch``."""
+        stats = self.stats
+        stats.loads += 1
+        stats.tag_probes += 1
+        block = pc >> self._offset_bits
+        index = block & self._set_mask
+        tags = self._tags[index]
+        try:
+            resident_way: Optional[int] = tags.index(block)
+            hit = True
+        except ValueError:
+            resident_way = None
+            hit = False
+
+        if not self.way_predict:
+            predicted_way = None
+            source = SOURCE_NONE
+
+        if predicted_way is None:
+            # Conventional parallel access.
+            self._e_cache += self._e_parallel
+            stats.data_way_reads += self._assoc
+            latency = self.base_latency
+            kind = KIND_NO_PREDICTION if self.way_predict else KIND_PARALLEL
+        else:
+            # Probe only the predicted way, in parallel with the tags.
+            self._e_cache += self._e_oneway
+            stats.data_way_reads += 1
+            if source in (SOURCE_BTB, SOURCE_RAS):
+                self._e_pred += self._e_way_field
+            else:
+                self._e_pred += self._e_table
+            if hit:
+                stats.predictions += 1
+                if predicted_way == resident_way:
+                    stats.correct_predictions += 1
+                    latency = self.base_latency
+                    kind = _CORRECT_KIND[source]
+                else:
+                    # Second probe of the matching way.
+                    self._e_cache += self._e_extra
+                    stats.data_way_reads += 1
+                    stats.second_probes += 1
+                    stats.extra_cycles += 1
+                    latency = self.base_latency + 1
+                    kind = KIND_MISPREDICTED
+            else:
+                latency = self.base_latency
+                kind = KIND_NO_PREDICTION
+
+        if hit:
+            stats.load_hits += 1
+            self._touch(index, resident_way)
+            way = resident_way
+        else:
+            latency += self._miss_path(pc, block, index)
+            way = self._fill_way
+
+        kinds = stats.access_kinds
+        kinds[kind] = kinds.get(kind, 0) + 1
+        return FetchOutcome(hit=hit, latency=latency, kind=kind, way=way)
+
+    def way_of(self, pc: int) -> Optional[int]:
+        """Quiet tag inspection (no energy): used when pushing RAS ways."""
+        block = pc >> self._offset_bits
+        try:
+            return self._tags[block & self._set_mask].index(block)
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------ #
+
+    def _touch(self, index: int, way: int) -> None:
+        if self._orders is not None:
+            order = self._orders[index]
+            order.remove(way)
+            order.insert(0, way)
+        else:
+            self._repl[index].touch(way)
+
+    def _miss_path(self, pc: int, block: int, index: int) -> int:
+        added = self.hierarchy.fetch_block(pc)
+        tags = self._tags[index]
+        try:
+            way = tags.index(-1)  # lowest invalid way first
+        except ValueError:
+            way = (
+                self._orders[index][-1]
+                if self._orders is not None
+                else self._repl[index].victim()
+            )
+        evicted = tags[way]
+        tags[way] = block
+        if self._orders is not None:
+            order = self._orders[index]
+            order.remove(way)
+            order.insert(0, way)
+        else:
+            self._repl[index].fill(way)
+        self.stats.fills += 1
+        self._e_cache += self._e_fill
+        self.stats.data_way_writes += 1
+        if evicted != -1:
+            self.stats.evictions += 1
+        self._fill_way = way
+        return added

@@ -1,0 +1,258 @@
+"""Per-policy fast kernels for the d-cache access policies.
+
+Each registered d-cache kind gets a kernel: four closures over plain
+list/dict state replicating the corresponding
+:class:`~repro.core.policy.DCachePolicy` exactly —
+
+* ``plan(pc, addr, xor_handle) -> (mode, way, kind, table_reads)``
+  mirrors ``plan_load`` (``mode`` is one of the ``MODE_*`` ints below;
+  ``way == -1`` means "the direct-mapping way");
+* ``observe(pc, addr, xor_handle, resident_way, final_way, dm_way)``
+  mirrors ``observe_load`` and returns the table-write count;
+* ``placement(addr) -> (way_or_None, dm_placed)`` mirrors
+  ``placement_way``;
+* ``on_eviction(block_addr) -> searches`` mirrors ``on_eviction``.
+
+The table/counter/victim-list semantics are transliterated from
+:mod:`repro.predictors.table` and :mod:`repro.core.selective_dm`
+(untagged power-of-two tables, 2-bit saturating counters, a small LRU
+victim list) so behaviour — including which accesses count as physical
+table writes — is identical to the reference policies.  The
+differential suite asserts this per kind, field for field.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.core.kinds import (
+    KIND_DIRECT_MAPPED,
+    KIND_PARALLEL,
+    KIND_SEQUENTIAL,
+    KIND_WAY_PREDICTED,
+)
+from repro.utils.bitops import AddressFields, is_power_of_two
+
+#: Integer probe modes (mirroring ``repro.core.policy.MODE_*``).
+MODE_PARALLEL = 0
+MODE_SINGLE = 1
+MODE_SEQUENTIAL = 2
+MODE_ORACLE = 3
+
+
+class FastBackendUnsupported(ValueError):
+    """The fast backend has no kernel for this policy/replacement.
+
+    The simulator catches this and falls back to the reference engine
+    for the affected cache side, so plugin policies keep working — they
+    just don't get the fast path.
+    """
+
+
+class DCacheKernel:
+    """One policy's compiled fast-path callbacks."""
+
+    __slots__ = ("plan", "observe", "placement", "on_eviction", "uses_victim_list")
+
+    def __init__(self, plan, observe, placement, on_eviction, uses_victim_list: bool) -> None:
+        self.plan = plan
+        self.observe = observe
+        self.placement = placement
+        self.on_eviction = on_eviction
+        self.uses_victim_list = uses_victim_list
+
+
+# ------------------------------------------------------------------ #
+# Shared no-op hooks (the DCachePolicy base-class defaults)
+# ------------------------------------------------------------------ #
+
+
+def _no_observe(pc, addr, xor_handle, resident_way, final_way, dm_way) -> int:
+    return 0
+
+
+def _default_placement(addr) -> Tuple[None, bool]:
+    return None, False
+
+
+def _no_eviction(block_addr) -> int:
+    return 0
+
+
+def _table_mask(entries: int) -> int:
+    if not is_power_of_two(entries):
+        raise ValueError(f"entries must be a power of two, got {entries}")
+    return entries - 1
+
+
+# ------------------------------------------------------------------ #
+# Static policies: parallel / sequential / oracle
+# ------------------------------------------------------------------ #
+
+
+def _make_static(mode: int, kind: str):
+    plan_result = (mode, -1, kind, 0)
+
+    def factory(params: Mapping[str, object], fields: AddressFields) -> DCacheKernel:
+        def plan(pc, addr, xor_handle):
+            return plan_result
+
+        return DCacheKernel(plan, _no_observe, _default_placement, _no_eviction, False)
+
+    return factory
+
+
+# ------------------------------------------------------------------ #
+# Way prediction (PC and XOR handles)
+# ------------------------------------------------------------------ #
+
+
+def _make_waypred(use_xor: bool):
+    def factory(params: Mapping[str, object], fields: AddressFields) -> DCacheKernel:
+        mask = _table_mask(int(params.get("table_entries", 1024)))
+        ways = [0] * (mask + 1)
+        valid = [False] * (mask + 1)
+
+        if use_xor:
+            def plan(pc, addr, xor_handle):
+                index = xor_handle & mask
+                if valid[index]:
+                    return (MODE_SINGLE, ways[index], KIND_WAY_PREDICTED, 1)
+                return (MODE_PARALLEL, -1, KIND_PARALLEL, 1)
+
+            def observe(pc, addr, xor_handle, resident_way, final_way, dm_way):
+                index = xor_handle & mask
+                if valid[index] and ways[index] == final_way:
+                    return 0
+                ways[index] = final_way
+                valid[index] = True
+                return 1
+        else:
+            def plan(pc, addr, xor_handle):
+                index = (pc >> 2) & mask
+                if valid[index]:
+                    return (MODE_SINGLE, ways[index], KIND_WAY_PREDICTED, 1)
+                return (MODE_PARALLEL, -1, KIND_PARALLEL, 1)
+
+            def observe(pc, addr, xor_handle, resident_way, final_way, dm_way):
+                index = (pc >> 2) & mask
+                if valid[index] and ways[index] == final_way:
+                    return 0
+                ways[index] = final_way
+                valid[index] = True
+                return 1
+
+        return DCacheKernel(plan, observe, _default_placement, _no_eviction, False)
+
+    return factory
+
+
+# ------------------------------------------------------------------ #
+# Selective direct-mapping (three conflict handlers)
+# ------------------------------------------------------------------ #
+
+
+def _make_seldm(handler: str):
+    def factory(params: Mapping[str, object], fields: AddressFields) -> DCacheKernel:
+        mask = _table_mask(int(params.get("table_entries", 1024)))
+        counters = [0] * (mask + 1)  # 2-bit saturating, initial 0
+        victim_entries = int(params.get("victim_entries", 16))
+        if victim_entries < 1:
+            raise ValueError("victim list needs at least one entry")
+        conflict_threshold = int(params.get("conflict_threshold", 2))
+        victims: "OrderedDict[int, int]" = OrderedDict()
+
+        way_table = handler == "waypred"
+        ways = [0] * (mask + 1) if way_table else None
+        valid = [False] * (mask + 1) if way_table else None
+
+        if handler == "parallel":
+            conflict_plan = (MODE_PARALLEL, -1, KIND_PARALLEL, 1)
+        else:
+            conflict_plan = (MODE_SEQUENTIAL, -1, KIND_SEQUENTIAL, 1)
+        dm_plan = (MODE_SINGLE, -1, KIND_DIRECT_MAPPED, 1)
+
+        def plan(pc, addr, xor_handle):
+            index = (pc >> 2) & mask
+            if counters[index] <= 1:  # msb clear: flagged non-conflicting
+                return dm_plan
+            if not way_table:
+                return conflict_plan
+            if valid[index]:
+                return (MODE_SINGLE, ways[index], KIND_WAY_PREDICTED, 1)
+            return (MODE_PARALLEL, -1, KIND_PARALLEL, 1)
+
+        def observe(pc, addr, xor_handle, resident_way, final_way, dm_way):
+            index = (pc >> 2) & mask
+            changed = False
+            toward = resident_way if resident_way is not None else final_way
+            if toward == dm_way:
+                if counters[index] > 0:  # saturating decrement
+                    counters[index] -= 1
+                    changed = True
+            elif counters[index] < 3:  # saturating increment
+                counters[index] += 1
+                changed = True
+            if way_table and not (valid[index] and ways[index] == final_way):
+                ways[index] = final_way
+                valid[index] = True
+                changed = True
+            return 1 if changed else 0
+
+        offset_bits = fields.offset_bits
+        index_bits = fields.index_bits
+        way_mask = (1 << fields.way_bits) - 1
+
+        def placement(addr):
+            block = addr >> offset_bits
+            if victims.get(block, 0) > conflict_threshold:
+                return None, False  # conflicting: set-associative position
+            return (block >> index_bits) & way_mask, True
+
+        def on_eviction(block_addr):
+            if block_addr in victims:
+                victims[block_addr] += 1
+                victims.move_to_end(block_addr)
+                return 1
+            if len(victims) >= victim_entries:
+                victims.popitem(last=False)  # drop the oldest entry
+            victims[block_addr] = 1
+            return 1
+
+        return DCacheKernel(plan, observe, placement, on_eviction, True)
+
+    return factory
+
+
+#: kind -> kernel factory, for every built-in d-cache policy.
+FAST_DCACHE_KERNELS: Dict[str, Callable[[Mapping[str, object], AddressFields], DCacheKernel]] = {
+    "parallel": _make_static(MODE_PARALLEL, KIND_PARALLEL),
+    "sequential": _make_static(MODE_SEQUENTIAL, KIND_SEQUENTIAL),
+    "oracle": _make_static(MODE_ORACLE, KIND_WAY_PREDICTED),
+    "waypred_pc": _make_waypred(use_xor=False),
+    "waypred_xor": _make_waypred(use_xor=True),
+    "seldm_parallel": _make_seldm("parallel"),
+    "seldm_waypred": _make_seldm("waypred"),
+    "seldm_sequential": _make_seldm("sequential"),
+}
+
+
+def fast_dcache_kinds() -> Tuple[str, ...]:
+    """D-cache kinds the fast backend has kernels for."""
+    return tuple(FAST_DCACHE_KERNELS)
+
+
+def make_dcache_kernel(kind: str, params: Mapping[str, object], fields: AddressFields) -> DCacheKernel:
+    """Build the kernel for ``kind``.
+
+    Raises:
+        FastBackendUnsupported: for kinds with no fast kernel (plugins).
+    """
+    factory = FAST_DCACHE_KERNELS.get(kind)
+    if factory is None:
+        raise FastBackendUnsupported(
+            f"no fast kernel for dcache policy {kind!r}; "
+            f"supported: {fast_dcache_kinds()}"
+        )
+    return factory(params, fields)

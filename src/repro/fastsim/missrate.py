@@ -1,0 +1,175 @@
+"""Batched functional miss-rate replay (the fast Table-4 path).
+
+:func:`fast_miss_rate` computes exactly what
+:func:`repro.sim.functional.measure_miss_rate` computes — same warmup
+gating, same replacement behaviour, same counts — but over a
+pre-encoded flat address stream with per-set state held in plain Python
+lists, so the per-access cost is a couple of C-level list operations
+instead of a tower of cache/set/block/replacement objects.
+
+Two replay strategies:
+
+* LRU (the paper's default and the hot path): each set is one list of
+  resident block addresses in MRU-first order.  Hit/miss and recency
+  both fall out of ``list.remove`` + ``insert``.
+* Any other registered replacement (``fifo``/``random``/``plru``):
+  way-indexed slot lists driven by the *real*
+  :mod:`repro.cache.replacement` policy objects, so victim choice —
+  including the deterministic RNG stream of ``random`` — is identical
+  to the reference by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import make_replacement
+from repro.sim.functional import MissRateResult
+from repro.utils.bitops import bit_mask
+from repro.workload.encode import EncodedTrace, encode_trace
+from repro.workload.trace import Trace
+
+
+def fast_miss_rate(
+    trace: Union[Trace, EncodedTrace],
+    geometry: CacheGeometry,
+    replacement: str = "lru",
+    warmup_fraction: float = 0.2,
+) -> MissRateResult:
+    """Batched equivalent of :func:`~repro.sim.functional.measure_miss_rate`."""
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+    encoded = trace if isinstance(trace, EncodedTrace) else encode_trace(trace)
+    blocks = encoded.blocks(geometry.fields)
+    warmup = int(len(blocks) * warmup_fraction)
+    if geometry.associativity == 1:
+        # Direct-mapped: residency is one block per set; replacement
+        # policies never arbitrate, so every name behaves identically —
+        # but an unknown name must still raise like the reference does.
+        make_replacement(replacement, 1)
+        counts = _replay_direct_mapped(blocks, encoded.is_load, geometry, warmup)
+    elif replacement == "lru":
+        counts = _replay_lru(blocks, encoded.is_load, geometry, warmup)
+    else:
+        counts = _replay_generic(blocks, encoded.is_load, geometry, replacement, warmup)
+    accesses, misses, load_accesses, load_misses = counts
+    return MissRateResult(
+        accesses=accesses,
+        misses=misses,
+        load_accesses=load_accesses,
+        load_misses=load_misses,
+    )
+
+
+def _replay_direct_mapped(blocks, is_load, geometry: CacheGeometry, warmup: int):
+    """One resident block per set: a flat array replaces all set state."""
+    set_mask = bit_mask(geometry.fields.index_bits)
+    resident = [-1] * geometry.num_sets
+
+    for pos in range(warmup):
+        block = blocks[pos]
+        resident[block & set_mask] = block
+
+    accesses = misses = load_accesses = load_misses = 0
+    for pos in range(warmup, len(blocks)):
+        block = blocks[pos]
+        index = block & set_mask
+        hit = resident[index] == block
+        if not hit:
+            resident[index] = block
+        accesses += 1
+        if is_load[pos]:
+            load_accesses += 1
+            if not hit:
+                misses += 1
+                load_misses += 1
+        elif not hit:
+            misses += 1
+    return accesses, misses, load_accesses, load_misses
+
+
+def _replay_lru(blocks, is_load, geometry: CacheGeometry, warmup: int):
+    """MRU-first block lists: residency and recency in one structure."""
+    set_mask = bit_mask(geometry.fields.index_bits)
+    assoc = geometry.associativity
+    orders = [[] for _ in range(geometry.num_sets)]
+
+    # Warmup phase: evolve state, count nothing.
+    for pos in range(warmup):
+        block = blocks[pos]
+        order = orders[block & set_mask]
+        try:
+            order.remove(block)  # hit: re-insert at MRU below
+        except ValueError:
+            if len(order) >= assoc:
+                order.pop()  # evict the LRU tail
+        order.insert(0, block)
+
+    accesses = misses = load_accesses = load_misses = 0
+    for pos in range(warmup, len(blocks)):
+        block = blocks[pos]
+        order = orders[block & set_mask]
+        try:
+            order.remove(block)
+            hit = True
+        except ValueError:
+            hit = False
+            if len(order) >= assoc:
+                order.pop()
+        order.insert(0, block)
+        accesses += 1
+        if is_load[pos]:
+            load_accesses += 1
+            if not hit:
+                misses += 1
+                load_misses += 1
+        elif not hit:
+            misses += 1
+    return accesses, misses, load_accesses, load_misses
+
+
+def _replay_generic(blocks, is_load, geometry: CacheGeometry, replacement: str, warmup: int):
+    """Way-indexed slots + the real replacement policy objects.
+
+    Mirrors :class:`~repro.cache.cacheset.CacheSet` exactly: lookup is
+    first-matching-way, fills prefer the lowest invalid way, and only a
+    full set consults the policy's ``victim()``.
+    """
+    set_mask = bit_mask(geometry.fields.index_bits)
+    assoc = geometry.associativity
+    slots = [[-1] * assoc for _ in range(geometry.num_sets)]
+    policies = [make_replacement(replacement, assoc) for _ in range(geometry.num_sets)]
+
+    accesses = misses = load_accesses = load_misses = 0
+    counting = False
+    for pos in range(len(blocks)):
+        if pos == warmup:
+            counting = True
+        block = blocks[pos]
+        index = block & set_mask
+        ways = slots[index]
+        policy = policies[index]
+        try:
+            way = ways.index(block)
+            hit = True
+            policy.touch(way)
+        except ValueError:
+            hit = False
+            try:
+                way = ways.index(-1)  # lowest invalid way first
+            except ValueError:
+                way = policy.victim()
+            ways[way] = block
+            policy.fill(way)
+        if not counting:
+            continue
+        accesses += 1
+        if is_load[pos]:
+            load_accesses += 1
+            if not hit:
+                misses += 1
+                load_misses += 1
+        elif not hit:
+            misses += 1
+    return accesses, misses, load_accesses, load_misses

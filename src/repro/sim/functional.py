@@ -6,6 +6,10 @@ and workload calibration — only needs hit/miss behaviour, so this module
 streams a trace's memory accesses through a bare
 :class:`SetAssociativeCache` with no pipeline, which is an order of
 magnitude faster than the full simulator.
+
+This is the *reference* implementation of the functional path;
+:func:`repro.fastsim.missrate.fast_miss_rate` is its batched equivalent
+(``backend="fast"``), proven byte-identical by the differential suite.
 """
 
 from __future__ import annotations

@@ -191,7 +191,14 @@ class SimResult:
         return tuple(sorted(names))
 
     def to_flat(self) -> Dict[str, object]:
-        """Flatten to one JSON-safe ``{section_field: value}`` mapping."""
+        """Flatten to one JSON-safe ``{section_field: value}`` mapping.
+
+        Dict-valued fields (access-kind counts, energy components) are
+        emitted in sorted key order: their in-memory insertion order is
+        an execution-backend artifact (e.g. which L1 engine charged the
+        ledger first), and serializing them canonically keeps JSON
+        dumps of equal results byte-identical across backends.
+        """
         flat: Dict[str, object] = {
             "benchmark": self.benchmark,
             "config_key": self.config_key,
@@ -200,7 +207,9 @@ class SimResult:
             part = getattr(self, prefix)
             for f in fields(part):
                 value = getattr(part, f.name)
-                flat[f"{prefix}_{f.name}"] = dict(value) if isinstance(value, dict) else value
+                if isinstance(value, dict):
+                    value = {key: value[key] for key in sorted(value)}
+                flat[f"{prefix}_{f.name}"] = value
         return flat
 
     @classmethod

@@ -39,12 +39,25 @@ import os
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from repro.fastsim.missrate import fast_miss_rate
 from repro.sim.config import SystemConfig
 from repro.sim.functional import measure_miss_rate
 from repro.sim.results import L1Metrics, SimResult
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import BACKENDS, Simulator
 from repro.workload.generator import generate_trace
 from repro.workload.trace import Trace
+
+__all__ = [
+    "BACKENDS",
+    "RUN_MODES",
+    "cache_key",
+    "clear_caches",
+    "execute",
+    "get_trace",
+    "load_cached",
+    "run_benchmark",
+    "store_result",
+]
 
 #: Run modes understood by the backend.
 RUN_MODES = ("sim", "missrate")
@@ -79,10 +92,19 @@ def cache_key(
     instructions: int,
     salt: int = 0,
     mode: str = "sim",
+    backend: str = "reference",
 ) -> str:
-    """Stable cache key for one run (includes the result-schema version)."""
+    """Stable cache key for one run (includes the result-schema version).
+
+    The v3->v4 payload bump adds the execution backend: reference and
+    fast results are byte-identical by contract, but keeping their
+    entries distinct means a cached result always names the backend
+    that actually produced it (and a backend bug can never satisfy the
+    other backend's lookups).
+    """
     payload = (
-        f"{benchmark}|{config.key()}|{instructions}|{salt}|{mode}|v3:{SCHEMA_VERSION}"
+        f"{benchmark}|{config.key()}|{instructions}|{salt}|{mode}|{backend}"
+        f"|v4:{SCHEMA_VERSION}"
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -137,9 +159,10 @@ def load_cached(
     instructions: int,
     salt: int = 0,
     mode: str = "sim",
+    backend: str = "reference",
 ) -> Optional[SimResult]:
     """Resolve one run against the caches; ``None`` means "must execute"."""
-    key = cache_key(benchmark, config, instructions, salt, mode)
+    key = cache_key(benchmark, config, instructions, salt, mode, backend)
     cached = _RESULT_CACHE.get(key)
     if cached is not None:
         return cached
@@ -155,14 +178,18 @@ def execute(
     instructions: int,
     salt: int = 0,
     mode: str = "sim",
+    backend: str = "reference",
 ) -> SimResult:
     """Run one point, bypassing all caches (worker-process safe)."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; valid: {BACKENDS}")
     if mode == "sim":
         trace = get_trace(benchmark, instructions, salt)
-        return Simulator(config).run(trace)
+        return Simulator(config, backend=backend).run(trace)
     if mode == "missrate":
         trace = get_trace(benchmark, instructions, salt)
-        measured = measure_miss_rate(
+        measure = fast_miss_rate if backend == "fast" else measure_miss_rate
+        measured = measure(
             trace, config.dcache.geometry(), replacement=config.replacement
         )
         result = SimResult(benchmark=benchmark, config_key=config.key())
@@ -184,9 +211,10 @@ def store_result(
     result: SimResult,
     salt: int = 0,
     mode: str = "sim",
+    backend: str = "reference",
 ) -> None:
     """Publish a result into the in-process and on-disk caches."""
-    key = cache_key(benchmark, config, instructions, salt, mode)
+    key = cache_key(benchmark, config, instructions, salt, mode, backend)
     _RESULT_CACHE[key] = result
     _store_disk(key, result)
 
@@ -198,15 +226,16 @@ def run_benchmark(
     salt: int = 0,
     use_cache: bool = True,
     mode: str = "sim",
+    backend: str = "reference",
 ) -> SimResult:
     """Simulate ``benchmark`` under ``config``; memoized."""
     if use_cache:
-        cached = load_cached(benchmark, config, instructions, salt, mode)
+        cached = load_cached(benchmark, config, instructions, salt, mode, backend)
         if cached is not None:
             return cached
-    result = execute(benchmark, config, instructions, salt, mode)
+    result = execute(benchmark, config, instructions, salt, mode, backend)
     if use_cache:
-        store_result(benchmark, config, instructions, result, salt, mode)
+        store_result(benchmark, config, instructions, result, salt, mode, backend)
     return result
 
 

@@ -1,4 +1,16 @@
-"""The simulator: builds a system from a config and runs one trace."""
+"""The simulator: builds a system from a config and runs one trace.
+
+Two interchangeable backends build the L1 engines:
+
+* ``"reference"`` — the per-access object-dispatch engines
+  (:class:`~repro.core.engine.DCacheEngine`,
+  :class:`~repro.core.icache.ICacheEngine`);
+* ``"fast"`` — the array-state engines with inlined policy kernels
+  (:mod:`repro.fastsim`), byte-identical by contract (enforced by the
+  differential suite).  Policy kinds without a fast kernel — plugins —
+  silently fall back to the reference engine for that cache side, so
+  the fast backend is always safe to request.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +20,7 @@ from repro.cache.hierarchy import L2Cache, MainMemory, MemoryHierarchy
 from repro.core.engine import DCacheEngine
 from repro.core.factory import build_dcache_policy, build_icache_policy
 from repro.core.icache import ICacheEngine
+from repro.fastsim import FastBackendUnsupported, FastDCacheEngine, FastICacheEngine
 from repro.cpu.fetch import FetchUnit
 from repro.cpu.ooo import OutOfOrderCore
 from repro.cpu.stats import CoreStats
@@ -26,11 +39,29 @@ from repro.sim.results import (
 from repro.workload.trace import Trace
 
 
-class Simulator:
-    """One system instance; construct fresh per run (state is not reusable)."""
+#: L1-engine backends the simulator can build.
+BACKENDS = ("reference", "fast")
 
-    def __init__(self, config: SystemConfig, wattch: Optional[WattchParameters] = None) -> None:
+
+class Simulator:
+    """One system instance; construct fresh per run (state is not reusable).
+
+    Args:
+        config: the system to build.
+        wattch: processor-energy parameters (defaults to the paper's).
+        backend: ``"reference"`` or ``"fast"`` (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        wattch: Optional[WattchParameters] = None,
+        backend: str = "reference",
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; valid: {BACKENDS}")
         self.config = config
+        self.backend = backend
         self.ledger = EnergyLedger()
         cacti = CactiLite()
 
@@ -64,27 +95,58 @@ class Simulator:
             way_bits=max(config.icache.geometry().fields.way_bits, 1),
         )
 
-        # L1 engines.
-        self.dcache = DCacheEngine(
-            geometry=config.dcache.geometry(),
-            policy=build_dcache_policy(dspec),
-            hierarchy=hierarchy,
-            energy=cacti.energy_model(config.dcache.geometry()),
-            pred_energy=pred_energy,
-            ledger=self.ledger,
-            base_latency=config.dcache.latency,
-            replacement=config.replacement,
-        )
-        self.icache = ICacheEngine(
-            geometry=config.icache.geometry(),
-            hierarchy=hierarchy,
-            energy=cacti.energy_model(config.icache.geometry()),
-            pred_energy=ipred_energy,
-            ledger=self.ledger,
-            base_latency=config.icache.latency,
-            policy=build_icache_policy(config.icache_policy),
-            replacement=config.replacement,
-        )
+        # L1 engines, per the selected backend.
+        self.dcache = None
+        self.icache = None
+        if backend == "fast":
+            try:
+                self.dcache = FastDCacheEngine(
+                    geometry=config.dcache.geometry(),
+                    spec=dspec,
+                    hierarchy=hierarchy,
+                    energy=cacti.energy_model(config.dcache.geometry()),
+                    pred_energy=pred_energy,
+                    ledger=self.ledger,
+                    base_latency=config.dcache.latency,
+                    replacement=config.replacement,
+                )
+            except FastBackendUnsupported:
+                pass  # plugin kind: reference engine below
+            try:
+                self.icache = FastICacheEngine(
+                    geometry=config.icache.geometry(),
+                    hierarchy=hierarchy,
+                    energy=cacti.energy_model(config.icache.geometry()),
+                    pred_energy=ipred_energy,
+                    ledger=self.ledger,
+                    base_latency=config.icache.latency,
+                    spec=config.icache_policy,
+                    replacement=config.replacement,
+                )
+            except FastBackendUnsupported:
+                pass
+        if self.dcache is None:
+            self.dcache = DCacheEngine(
+                geometry=config.dcache.geometry(),
+                policy=build_dcache_policy(dspec),
+                hierarchy=hierarchy,
+                energy=cacti.energy_model(config.dcache.geometry()),
+                pred_energy=pred_energy,
+                ledger=self.ledger,
+                base_latency=config.dcache.latency,
+                replacement=config.replacement,
+            )
+        if self.icache is None:
+            self.icache = ICacheEngine(
+                geometry=config.icache.geometry(),
+                hierarchy=hierarchy,
+                energy=cacti.energy_model(config.icache.geometry()),
+                pred_energy=ipred_energy,
+                ledger=self.ledger,
+                base_latency=config.icache.latency,
+                policy=build_icache_policy(config.icache_policy),
+                replacement=config.replacement,
+            )
         self.wattch = WattchLite(wattch if wattch is not None else WattchParameters())
 
     # ------------------------------------------------------------------ #
@@ -95,6 +157,13 @@ class Simulator:
         fetch_unit = FetchUnit(trace, self.icache, self.config.core, core_stats)
         core = OutOfOrderCore(self.config.core, fetch_unit, self.dcache, core_stats)
         core.run()
+
+        # Fast engines accumulate energy locally; publish it before the
+        # ledger is read (no-op for the reference engines).
+        for engine in (self.dcache, self.icache):
+            flush = getattr(engine, "flush_energy", None)
+            if flush is not None:
+                flush()
 
         # Post-run L2 energy: the L2 uses sequential (tag-then-way) access
         # as in the Alpha 21164, so each access costs one-way energy.

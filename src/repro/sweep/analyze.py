@@ -53,13 +53,16 @@ def design_space_spec(
     instructions: int,
     salt: int = 0,
     name: str = "design-space",
+    backend: str = "reference",
 ) -> SweepSpec:
     """Declare the grid covering every point's technique and baseline."""
     configs: List[SystemConfig] = []
     for point in points:
         configs.append(point.baseline)
         configs.append(point.technique)
-    return SweepSpec.from_grid(name, benchmarks, configs, instructions, salts=(salt,))
+    return SweepSpec.from_grid(
+        name, benchmarks, configs, instructions, salts=(salt,), backend=backend
+    )
 
 
 def summarize(
@@ -69,6 +72,7 @@ def summarize(
     instructions: int,
     component: str = "dcache",
     salt: int = 0,
+    backend: str = "reference",
 ) -> List[PointSummary]:
     """Reduce an executed sweep to per-point mean relative metrics."""
     summaries: List[PointSummary] = []
@@ -76,7 +80,8 @@ def summarize(
         per_benchmark: Dict[str, Dict[str, float]] = {}
         for benchmark in benchmarks:
             tech, base = sweep.pair(
-                benchmark, point.technique, point.baseline, instructions, salt
+                benchmark, point.technique, point.baseline, instructions, salt,
+                backend=backend,
             )
             per_benchmark[benchmark] = {
                 "relative_energy_delay": relative_energy_delay(tech, base, component),

@@ -35,13 +35,13 @@ from repro.sweep.result import SweepResult, SweepStats
 from repro.sweep.spec import RunSpec, SweepSpec
 
 #: Payload shipped to worker processes (must stay picklable).
-_Payload = Tuple[str, SystemConfig, int, int, str]
+_Payload = Tuple[str, SystemConfig, int, int, str, str]
 
 
 def _execute_payload(payload: _Payload) -> SimResult:
     """Worker entry point: execute one run with no cache side effects."""
-    benchmark, config, instructions, salt, mode = payload
-    return runner.execute(benchmark, config, instructions, salt, mode)
+    benchmark, config, instructions, salt, mode, backend = payload
+    return runner.execute(benchmark, config, instructions, salt, mode, backend)
 
 
 def default_jobs() -> int:
@@ -89,7 +89,8 @@ class SweepEngine:
         for run in unique:
             cached = (
                 runner.load_cached(
-                    run.benchmark, run.config, run.instructions, run.salt, run.mode
+                    run.benchmark, run.config, run.instructions, run.salt, run.mode,
+                    run.backend,
                 )
                 if self.use_cache
                 else None
@@ -123,7 +124,7 @@ class SweepEngine:
         if self.use_cache:
             runner.store_result(
                 run.benchmark, run.config, run.instructions, sim_result,
-                run.salt, run.mode,
+                run.salt, run.mode, run.backend,
             )
 
     def _execute(self, pending: List[RunSpec]) -> List[Tuple[RunSpec, SimResult]]:
@@ -143,7 +144,8 @@ class SweepEngine:
         out: List[Tuple[RunSpec, SimResult]] = []
         for index, run in enumerate(pending):
             sim_result = _execute_payload(
-                (run.benchmark, run.config, run.instructions, run.salt, run.mode)
+                (run.benchmark, run.config, run.instructions, run.salt, run.mode,
+                 run.backend)
             )
             self._store(run, sim_result)
             out.append((run, sim_result))
@@ -179,7 +181,8 @@ class SweepEngine:
             pending, key=lambda run: (run.benchmark, run.instructions, run.salt)
         )
         payloads: List[_Payload] = [
-            (run.benchmark, run.config, run.instructions, run.salt, run.mode)
+            (run.benchmark, run.config, run.instructions, run.salt, run.mode,
+             run.backend)
             for run in ordered
         ]
         # Chunks balance trace locality (same-benchmark specs cluster)

@@ -76,9 +76,10 @@ class SweepResult:
         instructions: int,
         salt: int = 0,
         mode: str = "sim",
+        backend: str = "reference",
     ) -> SimResult:
         """Look up one result by its run coordinates."""
-        return self[RunSpec(benchmark, config, instructions, salt, mode)]
+        return self[RunSpec(benchmark, config, instructions, salt, mode, backend)]
 
     def pair(
         self,
@@ -87,11 +88,12 @@ class SweepResult:
         baseline: SystemConfig,
         instructions: int,
         salt: int = 0,
+        backend: str = "reference",
     ) -> Tuple[SimResult, SimResult]:
         """The (technique, baseline) results the paper's relative metrics need."""
         return (
-            self.get(benchmark, technique, instructions, salt),
-            self.get(benchmark, baseline, instructions, salt),
+            self.get(benchmark, technique, instructions, salt, backend=backend),
+            self.get(benchmark, baseline, instructions, salt, backend=backend),
         )
 
     # -------------------------------------------------------------- #
@@ -109,6 +111,7 @@ class SweepResult:
                     "instructions": run.instructions,
                     "salt": run.salt,
                     "mode": run.mode,
+                    "backend": run.backend,
                     "cycles": result.core.cycles,
                     "ipc": round(result.core.ipc, 6),
                     "dcache_miss_rate": round(result.dcache.miss_rate, 6),
@@ -138,6 +141,7 @@ class SweepResult:
                     "instructions": run.instructions,
                     "salt": run.salt,
                     "mode": run.mode,
+                    "backend": run.backend,
                     "result": asdict(result),
                 }
             )

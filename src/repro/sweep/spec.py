@@ -15,7 +15,7 @@ from typing import Iterable, Sequence, Tuple
 
 from repro.sim import runner
 from repro.sim.config import SystemConfig
-from repro.sim.runner import RUN_MODES
+from repro.sim.runner import BACKENDS, RUN_MODES
 
 
 @dataclass(frozen=True)
@@ -29,6 +29,9 @@ class RunSpec:
         salt: trace-generation salt (distinct salts = distinct traces).
         mode: ``"sim"`` for the full out-of-order simulation or
             ``"missrate"`` for the functional hit/miss model (Table 4).
+        backend: ``"reference"`` or ``"fast"`` (the batched backend;
+            results are byte-identical, the backends trade
+            introspectability for speed).
     """
 
     benchmark: str
@@ -36,22 +39,28 @@ class RunSpec:
     instructions: int
     salt: int = 0
     mode: str = "sim"
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.mode not in RUN_MODES:
             raise ValueError(f"unknown run mode {self.mode!r}; valid: {RUN_MODES}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; valid: {BACKENDS}")
         if self.instructions <= 0:
             raise ValueError(f"instructions must be positive, got {self.instructions}")
 
     def key(self) -> str:
         """The backend cache key this spec resolves to."""
         return runner.cache_key(
-            self.benchmark, self.config, self.instructions, self.salt, self.mode
+            self.benchmark, self.config, self.instructions, self.salt, self.mode,
+            self.backend,
         )
 
     def describe(self) -> str:
         """One-line human description."""
         suffix = "" if self.mode == "sim" else f" ({self.mode})"
+        if self.backend != "reference":
+            suffix += f" [{self.backend}]"
         return (
             f"{self.benchmark} x {self.config.describe()} "
             f"@ {self.instructions}i/s{self.salt}{suffix}"
@@ -88,10 +97,11 @@ class SweepSpec:
         instructions: int,
         salts: Sequence[int] = (0,),
         mode: str = "sim",
+        backend: str = "reference",
     ) -> "SweepSpec":
         """Cartesian product benchmarks x configs x salts."""
         runs = tuple(
-            RunSpec(benchmark, config, instructions, salt, mode)
+            RunSpec(benchmark, config, instructions, salt, mode, backend)
             for benchmark in benchmarks
             for config in configs
             for salt in salts

@@ -14,6 +14,7 @@ only shifts and masks.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 
 def is_power_of_two(value: int) -> bool:
@@ -92,3 +93,16 @@ class AddressFields:
             | (index << self.offset_bits)
             | offset
         )
+
+    # ------------------------------------------------------------------ #
+    # Batched decode (the fast simulation backend's encoding step)
+    # ------------------------------------------------------------------ #
+
+    def decode_blocks(self, addrs: "Sequence[int]") -> "List[int]":
+        """Vectorized :meth:`block_address` over a whole address array.
+
+        The fast backend decodes every address exactly once, up front,
+        so its per-access loop touches only precomputed integers.
+        """
+        shift = self.offset_bits
+        return [addr >> shift for addr in addrs]

@@ -1,0 +1,80 @@
+"""Flat-array trace encoding for the batched fast backend.
+
+The reference engines walk a trace as a list of :class:`Instr` objects
+and pay Python attribute dispatch on every access.  The batched
+miss-rate kernel (:mod:`repro.fastsim.missrate`) instead pre-encodes a
+trace's memory-op stream ONCE into parallel flat arrays — effective
+addresses and load/store flags — and decodes block addresses per block
+size exactly once (via :meth:`~repro.utils.bitops.AddressFields.decode_blocks`).
+After encoding, the hot loop touches only plain ints in plain lists.
+The encoding carries exactly what the kernels consume; widen it only
+together with a consumer.
+
+Encodings are memoized on the trace object itself (traces are immutable
+once built, and the runner already memoizes traces per benchmark), and
+block decodes are memoized per block size inside the encoding, so a
+sweep that runs many configurations over one trace encodes once and
+decodes once per distinct block size.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List
+
+from repro.utils.bitops import AddressFields
+from repro.workload.instr import OP_LOAD, OP_STORE
+from repro.workload.trace import Trace
+
+#: Attribute used to memoize the encoding on the trace object.
+_CACHE_ATTR = "_fastsim_encoded"
+
+
+class EncodedTrace:
+    """A trace's memory-access stream as parallel flat arrays.
+
+    Attributes:
+        name: the source trace's name.
+        instructions: dynamic instruction count of the source trace.
+        addrs: effective data address per memory op (trace order).
+        is_load: 1 for loads, 0 for stores, per memory op.
+    """
+
+    __slots__ = ("name", "instructions", "addrs", "is_load", "_block_cache")
+
+    def __init__(self, trace: Trace) -> None:
+        self.name = trace.name
+        self.instructions = len(trace)
+        mem = [i for i in trace.instructions if i.op == OP_LOAD or i.op == OP_STORE]
+        # 64-bit signed arrays: compact, C-backed storage with plain-int
+        # element access (addresses are well under 2**63).
+        self.addrs = array("q", [i.addr for i in mem])
+        self.is_load = array("b", [1 if i.op == OP_LOAD else 0 for i in mem])
+        self._block_cache: Dict[int, List[int]] = {}
+
+    def __len__(self) -> int:
+        """Number of memory operations (not instructions)."""
+        return len(self.addrs)
+
+    def blocks(self, fields: AddressFields) -> List[int]:
+        """Block-address decode of the address stream, memoized.
+
+        Set indices are not materialized — the kernels derive them as
+        ``block & (num_sets - 1)``, which is cheaper than a second
+        array lookup — and the decode is shared by every geometry with
+        the same block size.
+        """
+        blocks = self._block_cache.get(fields.offset_bits)
+        if blocks is None:
+            blocks = fields.decode_blocks(self.addrs)
+            self._block_cache[fields.offset_bits] = blocks
+        return blocks
+
+
+def encode_trace(trace: Trace) -> EncodedTrace:
+    """Return the (memoized) flat-array encoding of ``trace``."""
+    encoded = getattr(trace, _CACHE_ATTR, None)
+    if encoded is None:
+        encoded = EncodedTrace(trace)
+        setattr(trace, _CACHE_ATTR, encoded)
+    return encoded

@@ -1,0 +1,175 @@
+"""CLI coverage: experiment regeneration, ``policies``, ``sweep``,
+``--backend``, and the error paths users actually hit."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main, policies_main, sweep_main
+from repro.core.registry import policy_kinds
+
+TINY_SWEEP = [
+    "--benchmarks", "gcc",
+    "--sizes", "16",
+    "--ways", "2",
+    "--policies", "sequential",
+    "--instructions", "2000",
+]
+
+
+@pytest.fixture(autouse=True)
+def _small_scale(monkeypatch, tmp_path):
+    """Keep every CLI invocation tiny and isolated from the repo cache."""
+    monkeypatch.setenv("REPRO_SCALE", "0.05")
+    monkeypatch.setenv("REPRO_BENCHMARKS", "gcc")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+# ------------------------------------------------------------------ #
+# Main command
+# ------------------------------------------------------------------ #
+
+
+def test_main_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "table4" in out and "fig11" in out
+
+
+def test_main_static_tables_render(capsys):
+    assert main(["table1", "table2", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Table 2" in out and "Table 3" in out
+
+
+def test_main_unknown_experiment(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_main_rejects_bad_jobs(capsys):
+    assert main(["table1", "--jobs", "0"]) == 2
+    assert "jobs" in capsys.readouterr().err
+
+
+def test_main_json_backends_identical(capsys):
+    """table4 through the real CLI: --backend fast emits identical JSON."""
+    assert main(["table4", "--json", "--backend", "reference"]) == 0
+    reference = capsys.readouterr().out
+    assert main(["table4", "--json", "--backend", "fast"]) == 0
+    fast = capsys.readouterr().out
+    assert reference == fast
+    document = json.loads(reference)
+    assert document[0]["experiment"] == "table4"
+    assert document[0]["rows"]
+
+
+# ------------------------------------------------------------------ #
+# policies subcommand
+# ------------------------------------------------------------------ #
+
+
+def test_policies_ascii_lists_both_sides(capsys):
+    assert main(["policies"]) == 0
+    out = capsys.readouterr().out
+    assert "dcache policies:" in out and "icache policies:" in out
+    for kind in policy_kinds("dcache"):
+        assert kind in out
+
+
+def test_policies_side_filter(capsys):
+    assert policies_main(["--side", "icache"]) == 0
+    out = capsys.readouterr().out
+    assert "icache policies:" in out and "dcache policies:" not in out
+
+
+def test_policies_json(capsys):
+    assert policies_main(["--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    kinds = {(entry["side"], entry["kind"]) for entry in document}
+    assert ("dcache", "seldm_waypred") in kinds
+    assert ("icache", "waypred") in kinds
+    assert all("params" in entry and "label" in entry for entry in document)
+
+
+# ------------------------------------------------------------------ #
+# sweep subcommand
+# ------------------------------------------------------------------ #
+
+
+def test_sweep_renders_summary(capsys):
+    assert sweep_main(TINY_SWEEP) == 0
+    captured = capsys.readouterr()
+    assert "Design-space sweep" in captured.out
+    assert "16K/2w/1cyc sequential" in captured.out
+
+
+def test_sweep_json_backends_identical(capsys):
+    assert sweep_main(TINY_SWEEP + ["--json"]) == 0
+    reference = json.loads(capsys.readouterr().out)
+    assert sweep_main(TINY_SWEEP + ["--json", "--backend", "fast"]) == 0
+    fast = json.loads(capsys.readouterr().out)
+    assert reference["backend"] == "reference" and fast["backend"] == "fast"
+    assert reference["points"] == fast["points"]
+    point = reference["points"][0]
+    assert set(point) == {
+        "label", "relative_energy_delay", "performance_degradation", "per_benchmark",
+    }
+    assert "gcc" in point["per_benchmark"]
+
+
+def test_sweep_rejects_unknown_benchmark(capsys):
+    assert sweep_main(["--benchmarks", "quake"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_sweep_rejects_empty_benchmarks(capsys):
+    assert sweep_main(["--benchmarks", ""]) == 2
+    assert "nothing to sweep" in capsys.readouterr().err
+
+
+def test_sweep_rejects_unknown_policy(capsys):
+    assert sweep_main(["--policies", "psychic"]) == 2
+    assert "psychic" in capsys.readouterr().err
+
+
+def test_sweep_rejects_bad_geometry(capsys):
+    assert sweep_main(["--sizes", "17"]) == 2
+    assert capsys.readouterr().err
+
+
+def test_sweep_rejects_bad_jobs(capsys):
+    assert sweep_main(TINY_SWEEP + ["--jobs", "-1"]) == 2
+    assert "jobs" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------------ #
+# REPRO_BACKEND environment plumbing
+# ------------------------------------------------------------------ #
+
+
+def test_bad_repro_backend_env_exits_cleanly(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BACKEND", "warp")
+    assert main(["table1"]) == 2
+    assert "unknown backend" in capsys.readouterr().err
+    assert sweep_main(TINY_SWEEP) == 2
+    assert "unknown backend" in capsys.readouterr().err
+
+
+def test_sweep_ignores_unrelated_env(monkeypatch, capsys):
+    """The sweep subcommand sizes its grid from flags alone: a garbage
+    REPRO_SCALE must not crash it (it only reads REPRO_BACKEND)."""
+    monkeypatch.setenv("REPRO_SCALE", "abc")
+    assert sweep_main(TINY_SWEEP) == 0
+    assert "Design-space sweep" in capsys.readouterr().out
+
+
+def test_repro_backend_env_selects_fast(monkeypatch):
+    from repro.experiments.common import settings_from_env
+
+    monkeypatch.setenv("REPRO_BACKEND", "fast")
+    assert settings_from_env().backend == "fast"
+    monkeypatch.delenv("REPRO_BACKEND")
+    assert settings_from_env().backend == "reference"

@@ -1,0 +1,217 @@
+"""Differential property suite: fast backend == reference engine.
+
+The fast backend's correctness contract is byte-identical results.
+These properties drive Hypothesis-generated traces through both
+backends — every d-cache policy kind and every i-cache policy kind in
+the registry — and assert ``SimResult.to_flat()`` equality field for
+field (integer counters, access-kind breakdowns, and energy floats
+alike), plus :class:`MissRateResult` equality for the functional path
+across every replacement policy and the warmup-fraction edges.
+
+The Hypothesis profile is pinned deterministic in ``conftest.py``
+(``derandomize=True``, ``deadline=None``) so this suite cannot flake
+in CI.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.registry import iter_policies
+from repro.fastsim.missrate import fast_miss_rate
+from repro.sim.config import CacheLevelConfig, SystemConfig
+from repro.sim.functional import measure_miss_rate
+from repro.sim.simulator import Simulator
+from repro.workload.instr import (
+    OP_BRANCH,
+    OP_CALL,
+    OP_FP,
+    OP_INT,
+    OP_LOAD,
+    OP_RET,
+    OP_STORE,
+    Instr,
+)
+from repro.workload.trace import Trace
+
+#: Registered policy kinds, resolved once at collection time.
+DCACHE_KINDS = [info.kind for info in iter_policies("dcache")]
+ICACHE_KINDS = [info.kind for info in iter_policies("icache")]
+
+#: A small system so short traces still produce conflicts, evictions,
+#: and mispredictions: 512B 4-way L1s over a 4K L2.
+SMALL = SystemConfig(
+    icache=CacheLevelConfig(1, 4, 32, 1),
+    dcache=CacheLevelConfig(1, 4, 32, 1),
+    l2=CacheLevelConfig(4, 4, 32, 6),
+)
+
+
+# ------------------------------------------------------------------ #
+# Trace generation
+# ------------------------------------------------------------------ #
+
+
+@st.composite
+def traces(draw) -> Trace:
+    """A short, well-formed correct-path trace.
+
+    Control flow is made self-consistent (taken branches continue at
+    their targets, returns target the call site's successor when the
+    call stack allows) so the fetch unit exercises its BTB/RAS/SAWP
+    paths rather than stalling on every transfer.
+    """
+    length = draw(st.integers(min_value=30, max_value=150))
+    ops = draw(
+        st.lists(
+            st.sampled_from(
+                [OP_INT, OP_INT, OP_LOAD, OP_LOAD, OP_LOAD, OP_STORE,
+                 OP_FP, OP_BRANCH, OP_BRANCH, OP_CALL, OP_RET]
+            ),
+            min_size=length,
+            max_size=length,
+        )
+    )
+    # A small pool of data blocks; reuse drives hits, aliasing drives
+    # conflicts and way-prediction training.
+    addr_pool = draw(
+        st.lists(st.integers(min_value=0, max_value=0x7FF), min_size=3, max_size=12)
+    )
+    jump_pool = draw(
+        st.lists(st.integers(min_value=0, max_value=0x3FF), min_size=2, max_size=8)
+    )
+    choices = draw(
+        st.lists(st.integers(min_value=0, max_value=2 ** 30), min_size=length,
+                 max_size=length)
+    )
+
+    instrs = []
+    pc = 0x1000
+    call_stack = []
+    for i, op in enumerate(ops):
+        pick = choices[i]
+        if op == OP_LOAD or op == OP_STORE:
+            addr = (addr_pool[pick % len(addr_pool)] << 3) | (pick % 32 & ~0x3)
+            instrs.append(
+                Instr(pc, op, dst=pick % 8 if op == OP_LOAD else -1,
+                      src1=pick % 4, addr=addr,
+                      xor_handle=(addr >> 5) ^ (pick % 16))
+            )
+            pc += 4
+        elif op == OP_BRANCH:
+            taken = pick % 2 == 1
+            target = 0x1000 + (jump_pool[pick % len(jump_pool)] << 2)
+            instrs.append(Instr(pc, OP_BRANCH, src1=pick % 8, taken=taken, target=target))
+            pc = target if taken else pc + 4
+        elif op == OP_CALL:
+            target = 0x2000 + (jump_pool[pick % len(jump_pool)] << 2)
+            call_stack.append(pc + 4)
+            instrs.append(Instr(pc, OP_CALL, taken=True, target=target))
+            pc = target
+        elif op == OP_RET:
+            if call_stack:
+                target = call_stack.pop()
+            else:
+                target = 0x1000 + (jump_pool[pick % len(jump_pool)] << 2)
+            instrs.append(Instr(pc, OP_RET, taken=True, target=target))
+            pc = target
+        else:
+            instrs.append(Instr(pc, op, dst=pick % 8, src1=(pick >> 3) % 8,
+                                src2=(pick >> 6) % 8))
+            pc += 4
+    return Trace("hypothesis", instrs)
+
+
+def assert_backends_identical(config: SystemConfig, trace: Trace) -> None:
+    """Run both backends over one trace; assert to_flat() equality."""
+    reference = Simulator(config, backend="reference").run(trace).to_flat()
+    fast = Simulator(config, backend="fast").run(trace).to_flat()
+    mismatched = {
+        key: (reference[key], fast[key])
+        for key in reference
+        if reference[key] != fast[key]
+    }
+    assert not mismatched, f"fast backend diverged on: {mismatched}"
+
+
+# ------------------------------------------------------------------ #
+# Full-simulation equivalence, every registered policy kind
+# ------------------------------------------------------------------ #
+
+
+@pytest.mark.parametrize("kind", DCACHE_KINDS)
+@settings(max_examples=10)
+@given(trace=traces())
+def test_dcache_policy_kind_identical(kind, trace):
+    """Every d-cache PolicyInfo: fast == reference, field for field."""
+    assert_backends_identical(SMALL.with_dcache_policy(kind), trace)
+
+
+@pytest.mark.parametrize("kind", ICACHE_KINDS)
+@settings(max_examples=10)
+@given(trace=traces())
+def test_icache_policy_kind_identical(kind, trace):
+    """Every i-cache PolicyInfo: fast == reference, field for field."""
+    config = SMALL.with_icache_policy(kind).with_dcache_policy("seldm_waypred")
+    assert_backends_identical(config, trace)
+
+
+@pytest.mark.parametrize("replacement", ["lru", "fifo", "random", "plru"])
+@settings(max_examples=6)
+@given(trace=traces())
+def test_replacement_policies_identical(replacement, trace):
+    """The fast arrays replicate every replacement policy's victims."""
+    config = SystemConfig(
+        icache=CacheLevelConfig(1, 4, 32, 1),
+        dcache=CacheLevelConfig(1, 4, 32, 1),
+        l2=CacheLevelConfig(4, 4, 32, 6),
+        replacement=replacement,
+    ).with_dcache_policy("waypred_pc")
+    assert_backends_identical(config, trace)
+
+
+# ------------------------------------------------------------------ #
+# Functional miss-rate equivalence, warmup edges included
+# ------------------------------------------------------------------ #
+
+
+@settings(max_examples=20)
+@given(
+    trace=traces(),
+    warmup=st.sampled_from([0.0, 0.2, 0.5, 0.95, 0.999]),
+    assoc=st.sampled_from([1, 2, 4]),
+    replacement=st.sampled_from(["lru", "fifo", "random", "plru"]),
+)
+def test_miss_rate_identical(trace, warmup, assoc, replacement):
+    """fast_miss_rate == measure_miss_rate at every warmup fraction,
+    including the 0.0 and near-1.0 edges."""
+    geometry = CacheGeometry(1024, assoc, 32)
+    reference = measure_miss_rate(trace, geometry, replacement, warmup)
+    fast = fast_miss_rate(trace, geometry, replacement, warmup)
+    assert reference == fast
+
+
+def test_miss_rate_rejects_bad_warmup():
+    """Both backends reject out-of-range warmup fractions identically."""
+    trace = Trace("t", [Instr(0x1000, OP_LOAD, addr=0x40)])
+    geometry = CacheGeometry(1024, 2, 32)
+    for warmup in (-0.1, 1.0, 1.5):
+        with pytest.raises(ValueError):
+            measure_miss_rate(trace, geometry, warmup_fraction=warmup)
+        with pytest.raises(ValueError):
+            fast_miss_rate(trace, geometry, warmup_fraction=warmup)
+
+
+@pytest.mark.parametrize("assoc", [1, 2])
+def test_miss_rate_rejects_unknown_replacement(assoc):
+    """Unknown replacement names raise on both backends — including the
+    direct-mapped fast path, which never arbitrates replacement."""
+    trace = Trace("t", [Instr(0x1000, OP_LOAD, addr=0x40)])
+    geometry = CacheGeometry(1024, assoc, 32)
+    with pytest.raises(ValueError, match="unknown replacement"):
+        measure_miss_rate(trace, geometry, replacement="bogus")
+    with pytest.raises(ValueError, match="unknown replacement"):
+        fast_miss_rate(trace, geometry, replacement="bogus")
