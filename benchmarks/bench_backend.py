@@ -1,13 +1,22 @@
-"""Backend bench: reference vs fast on the Table-4 miss-rate workload.
+"""Backend bench: reference vs fast, miss-rate mode and full-sim mode.
 
-The first point on the repository's performance trajectory.  The
-workload is exactly Table 4's grid — every benchmark at 60k dynamic
-instructions through both the direct-mapped and the 4-way 16K d-cache,
-functional miss-rate mode — executed once per backend with caching
-disabled, traces pre-generated (both backends share the runner's trace
-memo, so neither pays generation inside the timed region; the fast
-backend's one-time trace encoding *is* timed, as it would be in a real
-sweep).
+The repository's performance trajectory in two points:
+
+* **table4-missrate** — Table 4's grid (every benchmark at 60k dynamic
+  instructions through the direct-mapped and 4-way 16K d-caches) in
+  functional miss-rate mode: the batched per-set replay vs the
+  object-dispatch functional model.
+* **fig11-sim** — Figure 11's grid (every benchmark through the
+  baseline, the combined seldm+waypred technique, and perfect way
+  prediction) in full ``mode="sim"``: the array-state out-of-order
+  core, fetch unit, and table-state predictors vs the reference
+  pipeline.
+
+Each workload is executed once per backend with caching disabled and
+traces pre-generated (both backends share the runner's trace memo, so
+neither pays generation inside the timed region; the fast backend's
+one-time trace/instruction-array encoding *is* timed, as it would be
+in a real sweep).
 
 Run standalone to (re)write ``BENCH_backend.json`` at the repo root::
 
@@ -26,71 +35,120 @@ from pathlib import Path
 
 from conftest import run_once
 
+from repro.experiments.fig11_processor import comparisons
 from repro.experiments.tables import _table4_configs, _table4_instructions
 from repro.sim import runner
 from repro.workload.profiles import benchmark_names
 
-#: Minimum acceptable speedup of the fast backend on this workload.
-SPEEDUP_FLOOR = 3.0
+#: Minimum acceptable speedups of the fast backend per workload.
+MISSRATE_SPEEDUP_FLOOR = 3.0
+SIM_SPEEDUP_FLOOR = 2.0
 
 
-def _workload():
-    """(benchmark, config) points of the Table-4 miss-rate sweep."""
+def _fig11_configs():
+    """The figure's unique system configs (baseline + both techniques)."""
+    configs = {}
+    for label, technique, baseline in comparisons():
+        configs.setdefault(baseline.key(), ("Baseline", baseline))
+        configs.setdefault(technique.key(), (label, technique))
+    return [config for _label, config in configs.values()]
+
+
+def _missrate_workload():
+    """(benchmark, config, instructions, mode) points of the Table-4 sweep."""
     from repro.experiments.common import ExperimentSettings
 
     instructions = _table4_instructions(ExperimentSettings())
     return [
-        (benchmark, config, instructions)
+        (benchmark, config, instructions, "missrate")
         for benchmark in benchmark_names()
         for config in _table4_configs()
     ]
 
 
-def _run_backend(points, backend: str) -> None:
-    for benchmark, config, instructions in points:
-        runner.execute(benchmark, config, instructions, mode="missrate", backend=backend)
+def _sim_workload(benchmarks=None, instructions=None):
+    """(benchmark, config, instructions, mode) points of the fig11 grid."""
+    from repro.experiments.common import ExperimentSettings
+
+    if instructions is None:
+        instructions = ExperimentSettings().instructions
+    return [
+        (benchmark, config, instructions, "sim")
+        for benchmark in (benchmarks or benchmark_names())
+        for config in _fig11_configs()
+    ]
 
 
 def _time_backend(points, backend: str) -> float:
     started = time.perf_counter()
-    _run_backend(points, backend)
+    for benchmark, config, instructions, mode in points:
+        runner.execute(benchmark, config, instructions, mode=mode, backend=backend)
     return time.perf_counter() - started
 
 
-def measure() -> dict:
-    """Time both backends over the Table-4 workload; return the record."""
-    points = _workload()
-    for benchmark, _config, instructions in points:
+def _measure_workload(bench_name: str, points) -> dict:
+    """Time both backends over one workload; return its record."""
+    for benchmark, _config, instructions, _mode in points:
         runner.get_trace(benchmark, instructions)  # pre-generate, shared
     reference_seconds = _time_backend(points, "reference")
     fast_seconds = _time_backend(points, "fast")
+    benchmarks = sorted({p[0] for p in points})
+    configs = []
+    for _benchmark, config, _instructions, _mode in points:
+        described = config.describe()
+        if described not in configs:
+            configs.append(described)
     return {
-        "bench": "table4-missrate",
+        "bench": bench_name,
         "workload": {
-            "benchmarks": list(benchmark_names()),
-            "configs": [config.describe() for config in _table4_configs()],
+            "benchmarks": benchmarks,
+            "configs": configs,
             "instructions": points[0][2],
-            "mode": "missrate",
+            "mode": points[0][3],
             "runs": len(points),
         },
         "reference_seconds": round(reference_seconds, 4),
         "fast_seconds": round(fast_seconds, 4),
         "speedup": round(reference_seconds / fast_seconds, 2),
+    }
+
+
+def measure() -> dict:
+    """Time both backends over both workloads; return the full record."""
+    return {
+        "benches": [
+            _measure_workload("table4-missrate", _missrate_workload()),
+            _measure_workload("fig11-sim", _sim_workload()),
+        ],
         "python": platform.python_version(),
     }
 
 
-def test_fast_backend_speedup(benchmark):
-    """Fast backend clears the 3x floor on the Table-4 sweep."""
-    points = _workload()
-    for bench_name, _config, instructions in points:
+def test_fast_backend_missrate_speedup(benchmark):
+    """Fast backend clears the 3x floor on the Table-4 miss-rate sweep."""
+    points = _missrate_workload()
+    for bench_name, _config, instructions, _mode in points:
         runner.get_trace(bench_name, instructions)
     reference_seconds = _time_backend(points, "reference")
     fast_seconds = run_once(benchmark, lambda: _time_backend(points, "fast"))
     speedup = reference_seconds / fast_seconds
-    print(f"\nreference {reference_seconds:.3f}s fast {fast_seconds:.3f}s "
+    print(f"\nmissrate: reference {reference_seconds:.3f}s fast {fast_seconds:.3f}s "
           f"speedup {speedup:.2f}x")
-    assert speedup >= SPEEDUP_FLOOR
+    assert speedup >= MISSRATE_SPEEDUP_FLOOR
+
+
+def test_fast_backend_sim_speedup(benchmark):
+    """Fast backend clears the 2x floor on the fig11 full-sim grid
+    (subset grid: the pytest bench keeps wall-clock friendly)."""
+    points = _sim_workload(benchmarks=("gcc", "swim", "mgrid"), instructions=20_000)
+    for bench_name, _config, instructions, _mode in points:
+        runner.get_trace(bench_name, instructions)
+    reference_seconds = _time_backend(points, "reference")
+    fast_seconds = run_once(benchmark, lambda: _time_backend(points, "fast"))
+    speedup = reference_seconds / fast_seconds
+    print(f"\nsim: reference {reference_seconds:.3f}s fast {fast_seconds:.3f}s "
+          f"speedup {speedup:.2f}x")
+    assert speedup >= SIM_SPEEDUP_FLOOR
 
 
 def main() -> int:
@@ -99,7 +157,9 @@ def main() -> int:
     out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(record, indent=2))
     print(f"wrote {out}")
-    return 0 if record["speedup"] >= SPEEDUP_FLOOR else 1
+    floors = {"table4-missrate": MISSRATE_SPEEDUP_FLOOR, "fig11-sim": SIM_SPEEDUP_FLOOR}
+    ok = all(b["speedup"] >= floors[b["bench"]] for b in record["benches"])
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -45,6 +45,47 @@ class FillResult:
     eviction: Optional[EvictionRecord]
 
 
+class _LazySets(list):
+    """Set list materializing each :class:`CacheSet` on first access.
+
+    Safe because per-set state is fully independent — including random
+    replacement, whose :class:`~repro.utils.rng.DeterministicRng` is
+    self-seeded per instance, so creation *order* never influences any
+    stream.  Used for large arrays (the 4096-set L2) where building
+    every set up front dominates simulator construction while a typical
+    run touches a fraction of them.
+    """
+
+    __slots__ = ("_associativity", "_replacement")
+
+    def __init__(self, num_sets: int, associativity: int, replacement: str) -> None:
+        super().__init__([None] * num_sets)
+        self._associativity = associativity
+        self._replacement = replacement
+        # Validate the replacement name eagerly, exactly like the eager
+        # list comprehension would (unknown names must raise at build).
+        make_replacement(replacement, associativity)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        cache_set = list.__getitem__(self, index)
+        if cache_set is None:
+            cache_set = CacheSet(
+                self._associativity, make_replacement(self._replacement, self._associativity)
+            )
+            list.__setitem__(self, index, cache_set)
+        return cache_set
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield self[index]
+
+
+#: Above this set count the array materializes sets lazily.
+_LAZY_SETS_THRESHOLD = 1024
+
+
 class SetAssociativeCache:
     """Functional set-associative cache array.
 
@@ -57,10 +98,17 @@ class SetAssociativeCache:
         self.fields = geometry.fields
         self.name = name or geometry.describe()
         self.replacement_name = replacement
-        self.sets: List[CacheSet] = [
-            CacheSet(geometry.associativity, make_replacement(replacement, geometry.associativity))
-            for _ in range(geometry.num_sets)
-        ]
+        if geometry.num_sets >= _LAZY_SETS_THRESHOLD:
+            self.sets: List[CacheSet] = _LazySets(
+                geometry.num_sets, geometry.associativity, replacement
+            )
+        else:
+            self.sets = [
+                CacheSet(
+                    geometry.associativity, make_replacement(replacement, geometry.associativity)
+                )
+                for _ in range(geometry.num_sets)
+            ]
 
     # ------------------------------------------------------------------ #
     # Lookup

@@ -35,9 +35,23 @@ from repro.workload.instr import (
     OP_STORE,
 )
 
-#: Safety valve: if no instruction commits for this many cycles the model
-#: has deadlocked (a bug), so fail loudly instead of spinning.
-_DEADLOCK_CYCLES = 100_000
+#: Safety-valve floor: the minimum commit-gap (in cycles) treated as a
+#: deadlock, regardless of trace length.
+_DEADLOCK_FLOOR = 100_000
+
+
+def deadlock_limit(instructions: int) -> int:
+    """Cycles without a commit after which the model is deadlocked.
+
+    The valve exists to catch scheduler bugs (a ROB that can never
+    drain), not to bound legitimate stalls — so it scales with trace
+    length instead of being a fixed constant: a fixed valve that is
+    generous for a 60k-instruction trace could still fire spuriously on
+    a multi-million-instruction one (e.g. pathological miss queueing
+    behind a full ROB).  The bound is shared by the reference core and
+    the fast core so both fail identically on a genuine deadlock.
+    """
+    return _DEADLOCK_FLOOR + 8 * max(instructions, 0)
 
 
 class _RobEntry:
@@ -87,6 +101,7 @@ class OutOfOrderCore:
         stats = self.stats
         cycle = 0
         last_commit_cycle = 0
+        valve = deadlock_limit(len(self.fetch_unit.trace))
 
         while not (self.fetch_unit.done and not self._fetch_queue and not self._rob):
             if self._commit(cycle):
@@ -97,7 +112,7 @@ class OutOfOrderCore:
                 for fetched in self.fetch_unit.fetch(cycle):
                     self._fetch_queue.append(fetched)
             cycle += 1
-            if cycle - last_commit_cycle > _DEADLOCK_CYCLES:
+            if cycle - last_commit_cycle > valve:
                 raise RuntimeError(
                     f"core deadlock at cycle {cycle}: rob={len(self._rob)} "
                     f"fetchq={len(self._fetch_queue)} committed={stats.committed}"

@@ -12,7 +12,11 @@ backends:
   a batched per-set replay (:mod:`repro.fastsim.missrate`), and the full
   simulator swaps in array-state L1 engines with per-policy inlined
   kernels (:mod:`repro.fastsim.dcache`, :mod:`repro.fastsim.icache`)
-  for every registered d-cache kind and the i-cache fetch family.
+  for every registered d-cache kind and the i-cache fetch family —
+  driven by the array-state out-of-order core and fetch unit
+  (:mod:`repro.fastsim.core`, :mod:`repro.fastsim.fetch`) with the
+  table-state branch predictors of :mod:`repro.fastsim.predictors`,
+  so ``mode="sim"`` runs batched end to end.
 
 The fast backend's contract is *byte-identical results*: the same
 :class:`~repro.sim.functional.MissRateResult` and the same
@@ -27,15 +31,27 @@ back to the reference engine for that cache side, keeping results
 correct by construction.
 """
 
+from repro.fastsim.core import FastCore
 from repro.fastsim.dcache import FastDCacheEngine
+from repro.fastsim.fetch import FastFetchUnit
 from repro.fastsim.icache import FastICacheEngine
 from repro.fastsim.kernels import FastBackendUnsupported, fast_dcache_kinds
 from repro.fastsim.missrate import fast_miss_rate
+from repro.fastsim.predictors import (
+    FastBranchTargetBuffer,
+    FastHybridPredictor,
+    FastReturnAddressStack,
+)
 
 __all__ = [
     "FastBackendUnsupported",
+    "FastBranchTargetBuffer",
+    "FastCore",
     "FastDCacheEngine",
+    "FastFetchUnit",
+    "FastHybridPredictor",
     "FastICacheEngine",
+    "FastReturnAddressStack",
     "fast_dcache_kinds",
     "fast_miss_rate",
 ]

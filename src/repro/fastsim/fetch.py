@@ -1,0 +1,301 @@
+"""Array-driven fetch unit for the fast core.
+
+Cycle-for-cycle transcription of :class:`~repro.cpu.fetch.FetchUnit`
+(Figure 3's mechanism: branch prediction + i-cache access + way
+prediction) over the pre-encoded instruction arrays of
+:class:`~repro.workload.encode.EncodedTrace`:
+
+* per-instruction ``FetchedInstr`` objects are replaced by one int
+  deque shared with the core — ``queue`` holds
+  ``(trace_index << 1) | resolves_stall`` (the stall bit can only mark
+  the *last* instruction of a group, because a stalling transfer
+  always ends its group).  The reference unit also stamps each
+  instruction with a dispatch-ready cycle, but that stamp is provably
+  inert: groups become ready one cycle after their fetch, dispatch
+  runs *before* fetch within a cycle, so dispatch can never see a
+  not-yet-ready queue head — the stamp is therefore not materialized
+  here at all;
+* the branch-prediction object graph is replaced by the table-state
+  structures of :mod:`repro.fastsim.predictors`;
+* i-block indices come pre-shifted from
+  :meth:`~repro.workload.encode.EncodedTrace.iblocks`.
+
+The i-cache engine itself is driven through the same
+``fetch``/``way_of`` surface as the reference fetch unit, so either
+engine backend (array-state or reference, e.g. a plugin fallback)
+slots in unchanged and sees the identical access sequence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.icache import SOURCE_BTB, SOURCE_NONE, SOURCE_RAS, SOURCE_SAWP
+from repro.cpu.config import CoreConfig
+from repro.cpu.stats import CoreStats
+from repro.fastsim.predictors import (
+    FastBranchTargetBuffer,
+    FastHybridPredictor,
+    FastReturnAddressStack,
+)
+from repro.workload.encode import encode_trace
+from repro.workload.instr import OP_BRANCH, OP_CALL, OP_RET
+from repro.workload.trace import Trace
+
+# Way-training transition kinds (int-coded; the reference unit uses strings).
+_TRAIN_NONE = 0
+_TRAIN_SEQ = 1
+_TRAIN_BTB = 2
+
+
+class FastFetchUnit:
+    """Delivers fetch groups to the fast core, one i-cache block per access."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        icache,
+        config: CoreConfig,
+        stats: CoreStats,
+    ) -> None:
+        encoded = encode_trace(trace)
+        encoded.ensure_instr_arrays(trace)
+        self.encoded = encoded
+        self.icache = icache
+        self.config = config
+        self.stats = stats
+        # SAWP state is owned by the i-cache's fetch policy, exactly as
+        # in the reference unit (None when the policy never predicts).
+        self.way_predictor = icache.way_predictor
+        self.way_predict = icache.way_predict
+        self.branch_predictor = FastHybridPredictor(
+            bimodal_entries=config.bimodal_entries,
+            gshare_entries=config.gshare_entries,
+            history_bits=config.history_bits,
+            chooser_entries=config.chooser_entries,
+        )
+        self.btb = FastBranchTargetBuffer(config.btb_entries)
+        self.ras = FastReturnAddressStack(config.ras_depth)
+
+        #: Fetched-but-not-dispatched stream, consumed by the core.
+        self.queue: deque = deque()
+
+        self.index = 0
+        self._n = encoded.instructions
+        self._block_shift = icache.fields.offset_bits
+        self._blocks = encoded.iblocks(self._block_shift)
+        self._base_latency = icache.base_latency
+        # Tuple fast path when the engine offers one (the array-state
+        # engine does); reference/plugin engines go through the outcome
+        # object, adapted once here.
+        fetch_tuple = getattr(icache, "fetch_tuple", None)
+        if fetch_tuple is None:
+            def fetch_tuple(pc, way, source, _fetch=icache.fetch):
+                outcome = _fetch(pc, way, source)
+                return outcome.hit, outcome.latency, outcome.kind, outcome.way
+
+        self._fetch_tuple = fetch_tuple
+        self._line_buffer_block = -1  # blocks are >= 0; -1 forces an access
+        self._ready_cycle = 0
+        self.branch_stalled = False
+        # Next-access prediction context.
+        self._next_source = SOURCE_NONE
+        self._next_way = None
+        self._train_kind = _TRAIN_NONE
+        self._train_handle = 0
+
+    # ------------------------------------------------------------------ #
+    # Core-facing control
+    # ------------------------------------------------------------------ #
+
+    @property
+    def done(self) -> bool:
+        """True when the whole trace has been fetched."""
+        return self.index >= self._n
+
+    def resume(self, cycle: int) -> None:
+        """Called by the core when the stalling branch has resolved."""
+        self.branch_stalled = False
+        if cycle > self._ready_cycle:
+            self._ready_cycle = cycle
+
+    # ------------------------------------------------------------------ #
+    # Per-cycle fetch
+    # ------------------------------------------------------------------ #
+
+    def fetch(self, cycle: int) -> bool:
+        """Fetch one group into the queue; no-op when stalled or waiting.
+
+        Returns True when the cycle did fetch work (an i-cache access
+        or a line-buffer continuation) — the core's cycle-skip logic
+        uses this to recognize fully idle cycles.
+        """
+        i = self.index
+        if i >= self._n:
+            return False
+        if self.branch_stalled or cycle < self._ready_cycle:
+            self.stats.fetch_stall_cycles += 1
+            return False
+
+        block = self._blocks[i]
+        if block != self._line_buffer_block:
+            _hit, latency, _kind, way = self._fetch_tuple(
+                self.encoded.pcs[i], self._next_way, self._next_source
+            )
+            self.stats.fetch_cycles += 1
+            if self.way_predict:
+                # Teach the structure that predicted this access its way.
+                kind = self._train_kind
+                if kind == _TRAIN_SEQ:
+                    self.way_predictor.train_sequential(self._train_handle, way)
+                elif kind == _TRAIN_BTB:
+                    self.btb.update_way(self._train_handle, way)
+            self._line_buffer_block = block
+            if latency > self._base_latency:
+                # Way-mispredict second probe or a miss: the block arrives
+                # later; deliver the group when it does.
+                self._ready_cycle = cycle + (latency - self._base_latency)
+                return True
+        else:
+            self.stats.fetch_cycles += 1  # line-buffer continuation still occupies fetch
+
+        self._assemble_group(block)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Group assembly and branch prediction
+    # ------------------------------------------------------------------ #
+
+    def _assemble_group(self, block: int) -> None:
+        ops = self.encoded.ops
+        blocks = self._blocks
+        n = self._n
+        width = self.config.fetch_width
+        queue = self.queue
+
+        i = self.index
+        count = 0
+        ended = False
+        while i < n and count < width and blocks[i] == block:
+            op = ops[i]
+            queue.append(i << 1)
+            i += 1
+            count += 1
+            if op == OP_BRANCH:
+                ended = self._handle_branch(i - 1)
+            elif op == OP_CALL:
+                ended = self._handle_call(i - 1)
+            elif op == OP_RET:
+                ended = self._handle_return(i - 1)
+            else:
+                ended = False
+            if ended:
+                break
+        self.index = i
+        self.stats.fetched += count
+        if ended:
+            self._line_buffer_block = -1
+            return
+
+        if i < n and blocks[i] == block:
+            # Width limit hit mid-block: continue in the line buffer.
+            return
+        # Fell off the block (or width limit at block end): sequential
+        # transition; the SAWP predicts the next block's way.
+        self._set_sequential_transition(block)
+        self._line_buffer_block = -1
+
+    def _set_sequential_transition(self, block: int) -> None:
+        block_pc = block << self._block_shift
+        self._next_source = SOURCE_SAWP
+        self._next_way = (
+            self.way_predictor.predict_sequential(block_pc) if self.way_predict else None
+        )
+        self._train_kind = _TRAIN_SEQ
+        self._train_handle = block_pc
+
+    def _set_taken_transition(self, branch_pc: int, btb_way: int) -> None:
+        self._next_source = SOURCE_BTB
+        self._next_way = btb_way if (self.way_predict and btb_way >= 0) else None
+        self._train_kind = _TRAIN_BTB
+        self._train_handle = branch_pc
+
+    def _stall(self) -> None:
+        self.queue[-1] |= 1  # this instruction resolves the stall at issue
+        self.branch_stalled = True
+        self._next_source = SOURCE_NONE
+        self._next_way = None
+        self._train_kind = _TRAIN_NONE
+
+    def _handle_branch(self, i: int) -> bool:
+        """Predict and resolve a conditional branch; True ends the group."""
+        encoded = self.encoded
+        pc = encoded.pcs[i]
+        taken = encoded.takens[i]
+        target = encoded.targets[i]
+        stats = self.stats
+        stats.branches += 1
+        predicted_taken = self.branch_predictor.predict_train(pc, taken)
+        hit = self.btb.lookup(pc)
+
+        if taken:
+            self.btb.update(pc, target)
+            # Reference quirk, preserved: ``update`` runs before the
+            # target check and mutates the looked-up entry in place, so
+            # on a BTB tag hit the stored target always compares equal.
+            if predicted_taken and hit is not None:
+                self._set_taken_transition(pc, hit[1])
+            else:
+                if hit is None:
+                    stats.btb_misses += 1
+                stats.branch_mispredicts += 1
+                self._stall()
+            return True
+        if predicted_taken:
+            # Predicted taken but falls through: misfetch, stall.
+            stats.branch_mispredicts += 1
+            self._stall()
+            return True
+        return False  # correctly predicted not-taken: keep fetching
+
+    def _handle_call(self, i: int) -> bool:
+        """Calls are always predicted taken; BTB supplies target and way."""
+        encoded = self.encoded
+        pc = encoded.pcs[i]
+        target = encoded.targets[i]
+        self.stats.branches += 1
+        return_pc = pc + 4
+        way = self.icache.way_of(return_pc)
+        self.ras.push(return_pc, -1 if way is None else way)
+        hit = self.btb.lookup(pc)
+        self.btb.update(pc, target)
+        # Same aliasing as _handle_branch: a tag hit always target-matches.
+        if hit is not None:
+            self._set_taken_transition(pc, hit[1])
+        else:
+            # Direct-call target resolves at decode: no stall, but no way
+            # prediction for the target fetch either.
+            self.stats.btb_misses += 1
+            self._next_source = SOURCE_NONE
+            self._next_way = None
+            self._train_kind = _TRAIN_BTB
+            self._train_handle = pc
+        return True
+
+    def _handle_return(self, i: int) -> bool:
+        """Returns predict through the RAS (address and way)."""
+        encoded = self.encoded
+        stats = self.stats
+        stats.branches += 1
+        popped = self.ras.pop()
+        if popped is not None and popped[0] == encoded.targets[i]:
+            self._next_source = SOURCE_RAS
+            way = popped[1]
+            self._next_way = way if (self.way_predict and way >= 0) else None
+            self._train_kind = _TRAIN_NONE
+            self._train_handle = 0
+        else:
+            stats.ras_mispredicts += 1
+            stats.branch_mispredicts += 1
+            self._stall()
+        return True

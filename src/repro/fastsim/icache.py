@@ -129,6 +129,12 @@ class FastICacheEngine:
 
     def fetch(self, pc: int, predicted_way: Optional[int], source: str) -> FetchOutcome:
         """Fetch the block containing ``pc``; mirrors ``ICacheEngine.fetch``."""
+        hit, latency, kind, way = self.fetch_tuple(pc, predicted_way, source)
+        return FetchOutcome(hit=hit, latency=latency, kind=kind, way=way)
+
+    def fetch_tuple(self, pc: int, predicted_way: Optional[int], source: str) -> tuple:
+        """:meth:`fetch` returning a plain ``(hit, latency, kind, way)``
+        (the fast fetch unit consumes only latency and way)."""
         stats = self.stats
         stats.loads += 1
         stats.tag_probes += 1
@@ -188,7 +194,7 @@ class FastICacheEngine:
 
         kinds = stats.access_kinds
         kinds[kind] = kinds.get(kind, 0) + 1
-        return FetchOutcome(hit=hit, latency=latency, kind=kind, way=way)
+        return hit, latency, kind, way
 
     def way_of(self, pc: int) -> Optional[int]:
         """Quiet tag inspection (no energy): used when pushing RAS ways."""

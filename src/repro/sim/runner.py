@@ -4,7 +4,11 @@ This module is the execution backend of the sweep engine
 (:mod:`repro.sweep`): it owns trace memoization, result caching, and the
 two run modes — ``"sim"`` (the full out-of-order simulator) and
 ``"missrate"`` (the functional hit/miss model behind Table 4).  The
-engine composes the primitives directly:
+``backend`` argument selects the implementation of either mode:
+``"fast"`` runs miss-rate points through the batched per-set replay and
+sim points through the array-state core/fetch/engine pipeline of
+:mod:`repro.fastsim`, byte-identical to ``"reference"`` by contract.
+The engine composes the primitives directly:
 
 * :func:`load_cached` — resolve a run against the in-process and
   on-disk caches without executing anything;

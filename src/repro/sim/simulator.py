@@ -10,6 +10,14 @@ Two interchangeable backends build the L1 engines:
   differential suite).  Policy kinds without a fast kernel — plugins —
   silently fall back to the reference engine for that cache side, so
   the fast backend is always safe to request.
+
+The backend also selects the pipeline implementation for ``run``: the
+fast backend replays the pre-encoded instruction arrays through the
+array-state core and fetch unit (:class:`~repro.fastsim.core.FastCore`,
+:class:`~repro.fastsim.fetch.FastFetchUnit`), which drive whichever L1
+engines were built — including reference fallbacks — through the same
+``load``/``store``/``fetch`` surface, so the mode="sim" contract stays
+byte-identical end to end.
 """
 
 from __future__ import annotations
@@ -20,7 +28,13 @@ from repro.cache.hierarchy import L2Cache, MainMemory, MemoryHierarchy
 from repro.core.engine import DCacheEngine
 from repro.core.factory import build_dcache_policy, build_icache_policy
 from repro.core.icache import ICacheEngine
-from repro.fastsim import FastBackendUnsupported, FastDCacheEngine, FastICacheEngine
+from repro.fastsim import (
+    FastBackendUnsupported,
+    FastCore,
+    FastDCacheEngine,
+    FastFetchUnit,
+    FastICacheEngine,
+)
 from repro.cpu.fetch import FetchUnit
 from repro.cpu.ooo import OutOfOrderCore
 from repro.cpu.stats import CoreStats
@@ -154,9 +168,12 @@ class Simulator:
     def run(self, trace: Trace) -> SimResult:
         """Execute ``trace`` and assemble the result record."""
         core_stats = CoreStats()
-        fetch_unit = FetchUnit(trace, self.icache, self.config.core, core_stats)
-        core = OutOfOrderCore(self.config.core, fetch_unit, self.dcache, core_stats)
-        core.run()
+        if self.backend == "fast":
+            fast_fetch = FastFetchUnit(trace, self.icache, self.config.core, core_stats)
+            FastCore(self.config.core, fast_fetch, self.dcache, core_stats).run()
+        else:
+            fetch_unit = FetchUnit(trace, self.icache, self.config.core, core_stats)
+            OutOfOrderCore(self.config.core, fetch_unit, self.dcache, core_stats).run()
 
         # Fast engines accumulate energy locally; publish it before the
         # ledger is read (no-op for the reference engines).

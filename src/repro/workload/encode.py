@@ -1,14 +1,22 @@
 """Flat-array trace encoding for the batched fast backend.
 
 The reference engines walk a trace as a list of :class:`Instr` objects
-and pay Python attribute dispatch on every access.  The batched
-miss-rate kernel (:mod:`repro.fastsim.missrate`) instead pre-encodes a
-trace's memory-op stream ONCE into parallel flat arrays — effective
-addresses and load/store flags — and decodes block addresses per block
-size exactly once (via :meth:`~repro.utils.bitops.AddressFields.decode_blocks`).
-After encoding, the hot loop touches only plain ints in plain lists.
-The encoding carries exactly what the kernels consume; widen it only
-together with a consumer.
+and pay Python attribute dispatch on every access.  The fast backend
+instead pre-encodes a trace ONCE into parallel flat arrays and decodes
+block addresses per block size exactly once (via
+:meth:`~repro.utils.bitops.AddressFields.decode_blocks`).  After
+encoding, the hot loops touch only plain ints in plain lists.  Two
+granularities exist, built on demand:
+
+* the memory-op stream (``addrs``/``is_load``) consumed by the batched
+  miss-rate kernel (:mod:`repro.fastsim.missrate`);
+* the full instruction stream (op kinds, PCs, source/destination
+  registers, branch directions and targets, data addresses, XOR
+  handles — see :meth:`EncodedTrace.ensure_instr_arrays`) consumed by
+  the fast out-of-order core (:mod:`repro.fastsim.core`) and fetch
+  unit (:mod:`repro.fastsim.fetch`), plus per-block-size i-block
+  indices (:meth:`EncodedTrace.iblocks`) so fetch never re-derives
+  ``pc >> offset_bits`` per access.
 
 Encodings are memoized on the trace object itself (traces are immutable
 once built, and the runner already memoizes traces per benchmark), and
@@ -20,7 +28,7 @@ decodes once per distinct block size.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.utils.bitops import AddressFields
 from repro.workload.instr import OP_LOAD, OP_STORE
@@ -31,16 +39,38 @@ _CACHE_ATTR = "_fastsim_encoded"
 
 
 class EncodedTrace:
-    """A trace's memory-access stream as parallel flat arrays.
+    """A trace's access streams as parallel flat arrays.
 
     Attributes:
         name: the source trace's name.
         instructions: dynamic instruction count of the source trace.
         addrs: effective data address per memory op (trace order).
         is_load: 1 for loads, 0 for stores, per memory op.
+        ops/pcs/dsts/src1s/src2s/daddrs/takens/targets/xors: full
+            per-instruction arrays, ``None`` until
+            :meth:`ensure_instr_arrays` builds them (the miss-rate path
+            never pays for them).  Plain lists, not ``array``: the fast
+            core reads elements far more often than it stores them, and
+            list indexing returns cached small ints without boxing.
     """
 
-    __slots__ = ("name", "instructions", "addrs", "is_load", "_block_cache")
+    __slots__ = (
+        "name",
+        "instructions",
+        "addrs",
+        "is_load",
+        "_block_cache",
+        "ops",
+        "pcs",
+        "dsts",
+        "src1s",
+        "src2s",
+        "daddrs",
+        "takens",
+        "targets",
+        "xors",
+        "_iblock_cache",
+    )
 
     def __init__(self, trace: Trace) -> None:
         self.name = trace.name
@@ -51,6 +81,18 @@ class EncodedTrace:
         self.addrs = array("q", [i.addr for i in mem])
         self.is_load = array("b", [1 if i.op == OP_LOAD else 0 for i in mem])
         self._block_cache: Dict[int, List[int]] = {}
+        # Instruction-stream arrays: built lazily (ensure_instr_arrays)
+        # from the trace the runner keeps memoized anyway.
+        self.ops: Optional[List[int]] = None
+        self.pcs: Optional[List[int]] = None
+        self.dsts: Optional[List[int]] = None
+        self.src1s: Optional[List[int]] = None
+        self.src2s: Optional[List[int]] = None
+        self.daddrs: Optional[List[int]] = None
+        self.takens: Optional[List[bool]] = None
+        self.targets: Optional[List[int]] = None
+        self.xors: Optional[List[int]] = None
+        self._iblock_cache: Dict[int, List[int]] = {}
 
     def __len__(self) -> int:
         """Number of memory operations (not instructions)."""
@@ -68,6 +110,41 @@ class EncodedTrace:
         if blocks is None:
             blocks = fields.decode_blocks(self.addrs)
             self._block_cache[fields.offset_bits] = blocks
+        return blocks
+
+    def ensure_instr_arrays(self, trace: Trace) -> None:
+        """Build the full per-instruction arrays once (idempotent).
+
+        Takes the source trace again rather than holding a reference:
+        the encoding must not keep the ``Instr`` objects alive after
+        the runner's own trace memo drops them.
+        """
+        if self.ops is not None:
+            return
+        instrs = trace.instructions
+        self.ops = [i.op for i in instrs]
+        self.pcs = [i.pc for i in instrs]
+        self.dsts = [i.dst for i in instrs]
+        self.src1s = [i.src1 for i in instrs]
+        self.src2s = [i.src2 for i in instrs]
+        self.daddrs = [i.addr for i in instrs]
+        self.takens = [i.taken for i in instrs]
+        self.targets = [i.target for i in instrs]
+        self.xors = [i.xor_handle for i in instrs]
+
+    def iblocks(self, offset_bits: int) -> List[int]:
+        """Per-instruction i-cache block indices, memoized per shift.
+
+        Requires :meth:`ensure_instr_arrays` to have run; shared by
+        every i-cache geometry with the same block size, exactly like
+        the data-side :meth:`blocks` memo.
+        """
+        blocks = self._iblock_cache.get(offset_bits)
+        if blocks is None:
+            if self.pcs is None:
+                raise RuntimeError("ensure_instr_arrays() must run before iblocks()")
+            blocks = [pc >> offset_bits for pc in self.pcs]
+            self._iblock_cache[offset_bits] = blocks
         return blocks
 
 

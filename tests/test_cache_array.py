@@ -135,3 +135,36 @@ class TestCapacityInvariants:
             way = cache.probe(addr)
             if way is not None:
                 assert way == 0
+
+
+class TestLazySets:
+    """Large arrays (the 4096-set L2) materialize sets on first touch."""
+
+    def test_lazy_array_behaves_like_eager(self):
+        from repro.cache.sram import _LAZY_SETS_THRESHOLD, _LazySets
+
+        geometry = CacheGeometry(_LAZY_SETS_THRESHOLD * 4 * 32, 4, 32)
+        cache = SetAssociativeCache(geometry)
+        assert isinstance(cache.sets, _LazySets)
+        cache.fill(0x1234)
+        assert cache.probe(0x1234) is not None
+        assert cache.resident_blocks() == 1  # __iter__ materializes
+
+    def test_lazy_sets_slice_materializes(self):
+        from repro.cache.cacheset import CacheSet
+        from repro.cache.sram import _LAZY_SETS_THRESHOLD
+
+        geometry = CacheGeometry(_LAZY_SETS_THRESHOLD * 4 * 32, 4, 32)
+        cache = SetAssociativeCache(geometry)
+        sliced = cache.sets[7:10]
+        assert len(sliced) == 3
+        assert all(isinstance(s, CacheSet) for s in sliced)
+
+    def test_lazy_sets_reject_bad_replacement_eagerly(self):
+        import pytest
+
+        from repro.cache.sram import _LAZY_SETS_THRESHOLD
+
+        geometry = CacheGeometry(_LAZY_SETS_THRESHOLD * 4 * 32, 4, 32)
+        with pytest.raises(ValueError, match="unknown replacement"):
+            SetAssociativeCache(geometry, replacement="bogus")

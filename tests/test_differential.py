@@ -8,6 +8,13 @@ field (integer counters, access-kind breakdowns, and energy floats
 alike), plus :class:`MissRateResult` equality for the functional path
 across every replacement policy and the warmup-fraction edges.
 
+Full-sim mode is covered on both pipeline implementations: the fast
+backend runs the batched core/fetch pair (:mod:`repro.fastsim.core`,
+:mod:`repro.fastsim.fetch`), so every property here also pins the
+cycle-exactness of the array-state scheduler, including under starved
+core shapes (tiny ROB/LSQ, single-issue, one d-cache port) and down to
+``CoreStats`` fields that never reach a ``SimResult``.
+
 The Hypothesis profile is pinned deterministic in ``conftest.py``
 (``derandomize=True``, ``deadline=None``) so this suite cannot flake
 in CI.
@@ -15,12 +22,19 @@ in CI.
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cache.geometry import CacheGeometry
 from repro.core.registry import iter_policies
+from repro.cpu.config import CoreConfig
+from repro.cpu.fetch import FetchUnit
+from repro.cpu.ooo import OutOfOrderCore
+from repro.cpu.stats import CoreStats
+from repro.fastsim import FastCore, FastFetchUnit
 from repro.fastsim.missrate import fast_miss_rate
 from repro.sim.config import CacheLevelConfig, SystemConfig
 from repro.sim.functional import measure_miss_rate
@@ -157,6 +171,72 @@ def test_icache_policy_kind_identical(kind, trace):
     """Every i-cache PolicyInfo: fast == reference, field for field."""
     config = SMALL.with_icache_policy(kind).with_dcache_policy("seldm_waypred")
     assert_backends_identical(config, trace)
+
+
+#: Core shapes that starve each pipeline structure in turn: the paper's
+#: 8-wide default, a single-issue machine, a tiny ROB/LSQ window, a
+#: one-port d-cache with slow FP, and a deep-redirect narrow fetch.
+CORE_SHAPES = {
+    "paper": CoreConfig(),
+    "single_issue": CoreConfig(
+        fetch_width=1, dispatch_width=1, issue_width=1, commit_width=1
+    ),
+    "tiny_window": CoreConfig(rob_size=4, lsq_size=2),
+    "one_port_slow_fp": CoreConfig(dcache_ports=1, fp_latency=12, int_latency=2),
+    "deep_redirect": CoreConfig(
+        fetch_width=2,
+        redirect_penalty=6,
+        btb_entries=16,
+        ras_depth=2,
+        bimodal_entries=32,
+        gshare_entries=32,
+        history_bits=5,
+        chooser_entries=32,
+    ),
+}
+
+
+@pytest.mark.parametrize("shape", sorted(CORE_SHAPES))
+@settings(max_examples=8)
+@given(trace=traces())
+def test_core_shapes_identical(shape, trace):
+    """The fast core is cycle-exact under starved pipeline shapes too."""
+    config = dataclasses.replace(
+        SMALL.with_dcache_policy("seldm_waypred").with_icache_policy("waypred"),
+        core=CORE_SHAPES[shape],
+    )
+    assert_backends_identical(config, trace)
+
+
+@pytest.mark.parametrize("shape", ["paper", "tiny_window", "deep_redirect"])
+@settings(max_examples=8)
+@given(trace=traces())
+def test_core_stats_identical(shape, trace):
+    """Every CoreStats field matches — including the purely diagnostic
+    ones (fetch/ROB/LSQ stall counters, RAS mispredicts, BTB misses)
+    that never reach a SimResult and so escape to_flat() equality."""
+    config = dataclasses.replace(
+        SMALL.with_icache_policy("waypred"), core=CORE_SHAPES[shape]
+    )
+
+    def run_core(backend):
+        simulator = Simulator(config, backend=backend)
+        stats = CoreStats()
+        if backend == "fast":
+            fetch_unit = FastFetchUnit(trace, simulator.icache, config.core, stats)
+            FastCore(config.core, fetch_unit, simulator.dcache, stats).run()
+        else:
+            fetch_unit = FetchUnit(trace, simulator.icache, config.core, stats)
+            OutOfOrderCore(config.core, fetch_unit, simulator.dcache, stats).run()
+        return stats
+
+    reference, fast = run_core("reference"), run_core("fast")
+    mismatched = {
+        field.name: (getattr(reference, field.name), getattr(fast, field.name))
+        for field in dataclasses.fields(CoreStats)
+        if getattr(reference, field.name) != getattr(fast, field.name)
+    }
+    assert not mismatched, f"fast core stats diverged on: {mismatched}"
 
 
 @pytest.mark.parametrize("replacement", ["lru", "fifo", "random", "plru"])

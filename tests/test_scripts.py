@@ -1,0 +1,92 @@
+"""Smoke tests for the calibration helper scripts.
+
+``scripts/calibrate_profiles.py`` (read-only report) and
+``scripts/autotune_profiles.py`` (rewrites ``profiles.py`` in place)
+used to be exercised only by hand.  Both are driven here as
+subprocesses on a tiny grid; the autotune run works on a throwaway
+copy of the source tree so the in-place rewrite never touches the
+repository.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPTS = REPO / "scripts"
+
+#: Small trace length: enough for every profile to produce nonzero
+#: miss rates, small enough to keep the smoke tests quick.
+SMOKE_INSTRUCTIONS = "2000"
+
+
+def _run(script: Path, args, cwd: Path, pythonpath: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(pythonpath)
+    env.setdefault("REPRO_DISK_CACHE", "0")
+    return subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+        check=True,
+        timeout=300,
+    )
+
+
+def test_calibrate_profiles_reports_every_benchmark():
+    from repro.workload.profiles import benchmark_names
+
+    result = _run(
+        SCRIPTS / "calibrate_profiles.py", [SMOKE_INSTRUCTIONS], REPO, REPO / "src"
+    )
+    lines = result.stdout.strip().splitlines()
+    assert "DM meas" in lines[0] and "SA paper" in lines[0]
+    rows = lines[1:]
+    names = benchmark_names()
+    assert len(rows) == len(names)
+    for name, row in zip(names, rows):
+        fields = row.split()
+        assert fields[0] == name
+        # Four numeric columns: measured/paper x DM/SA.
+        assert len(fields) == 5
+        for value in fields[1:]:
+            float(value)
+
+
+def test_autotune_profiles_rewrites_copy_in_place(tmp_path):
+    # The script reloads repro.workload.* from PYTHONPATH and writes to
+    # ./src/repro/workload/profiles.py relative to its CWD — point both
+    # at a throwaway copy.
+    shutil.copytree(
+        REPO / "src", tmp_path / "src", ignore=shutil.ignore_patterns("__pycache__")
+    )
+    profiles_path = tmp_path / "src" / "repro" / "workload" / "profiles.py"
+    before = profiles_path.read_text(encoding="utf-8")
+
+    result = _run(
+        SCRIPTS / "autotune_profiles.py",
+        [SMOKE_INSTRUCTIONS, "1"],
+        tmp_path,
+        tmp_path / "src",
+    )
+    assert "--- round 0 ---" in result.stdout
+
+    from repro.workload.profiles import benchmark_names
+
+    for name in benchmark_names():
+        assert name in result.stdout  # every profile was (re)tuned
+
+    after = profiles_path.read_text(encoding="utf-8")
+    assert after != before, "autotune should nudge chase/conflict weights"
+    # The rewrite must leave a syntactically valid module behind.
+    compile(after, str(profiles_path), "exec")
+    # The repository's own tree is untouched.
+    assert (REPO / "src" / "repro" / "workload" / "profiles.py").read_text(
+        encoding="utf-8"
+    ) == before
