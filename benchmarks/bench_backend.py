@@ -36,7 +36,7 @@ from pathlib import Path
 from conftest import run_once
 
 from repro.experiments.fig11_processor import comparisons
-from repro.experiments.tables import _table4_configs, _table4_instructions
+from repro.experiments.tables import table4_configs, _table4_instructions
 from repro.sim import runner
 from repro.workload.profiles import benchmark_names
 
@@ -62,7 +62,7 @@ def _missrate_workload():
     return [
         (benchmark, config, instructions, "missrate")
         for benchmark in benchmark_names()
-        for config in _table4_configs()
+        for config in table4_configs()
     ]
 
 

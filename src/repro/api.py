@@ -10,10 +10,18 @@ Three calls cover the common library workflow::
         print(info.kind, "-", info.label)
 
 A :class:`Machine` wraps one immutable :class:`~repro.sim.config.SystemConfig`;
-``run`` accepts either a benchmark name (executed through the memoizing
-runner, so repeated runs are free) or a prebuilt
+``run`` accepts a benchmark name (executed through the memoizing
+runner, so repeated runs are free), a prebuilt
 :class:`~repro.workload.trace.Trace` (executed directly on a fresh
-simulator).  Results come back as the structured
+simulator), or an externally captured trace file — a
+:class:`~pathlib.Path` or a ``trace://path#format`` reference — which
+streams through the format registry
+(:mod:`repro.workload.formats`)::
+
+    result = machine.run(Path("workload.din"))
+    result = machine.run("trace://logs/app.csv.gz#csv", backend="fast")
+
+Results come back as the structured
 :class:`~repro.sim.results.SimResult`.
 
 Custom policies plug in through the registry re-exported here::
@@ -32,6 +40,7 @@ Custom policies plug in through the registry re-exported here::
 from __future__ import annotations
 
 from dataclasses import replace
+from pathlib import Path
 from typing import Any, Optional, Tuple, Union
 
 from repro.core.registry import (
@@ -46,6 +55,14 @@ from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
 from repro.sim.runner import run_benchmark
 from repro.sim.simulator import Simulator
+from repro.workload.formats import (
+    is_trace_ref,
+    load_trace,
+    make_trace_ref,
+    register_trace_format,
+    trace_format_names,
+    unregister_trace_format,
+)
 from repro.workload.trace import Trace
 
 __all__ = [
@@ -55,9 +72,14 @@ __all__ = [
     "SimResult",
     "SystemConfig",
     "iter_policies",
+    "load_trace",
+    "make_trace_ref",
     "policy_kinds",
     "register_policy",
+    "register_trace_format",
+    "trace_format_names",
     "unregister_policy",
+    "unregister_trace_format",
 ]
 
 
@@ -118,8 +140,8 @@ class Machine:
 
     def run(
         self,
-        trace: Union[Trace, str],
-        instructions: int = 50_000,
+        trace: Union[Trace, str, Path],
+        instructions: Optional[int] = None,
         salt: int = 0,
         use_cache: bool = True,
         backend: str = "reference",
@@ -127,11 +149,21 @@ class Machine:
         """Run one workload on this machine.
 
         Args:
-            trace: a prebuilt :class:`Trace`, or a benchmark name (see
-                :func:`repro.workload.profiles.benchmark_names`).
-            instructions: trace length when ``trace`` is a name.
-            salt: trace-generation salt when ``trace`` is a name.
-            use_cache: resolve benchmark runs against the memo caches.
+            trace: a prebuilt :class:`Trace` (including a
+                :class:`~repro.workload.trace.StreamingTrace`), a
+                benchmark name (see
+                :func:`repro.workload.profiles.benchmark_names`), a
+                ``trace://path[#format]`` reference, or a
+                :class:`~pathlib.Path` to a trace file in any
+                registered format.
+            instructions: trace length for a benchmark name (default
+                50,000), or a replay cap for a file trace (default:
+                the whole file).
+            salt: trace-generation salt when ``trace`` is a name
+                (ignored for file traces).
+            use_cache: resolve benchmark/file runs against the memo
+                caches (file runs are keyed by content fingerprint, so
+                an edited file always re-executes).
             backend: ``"reference"`` or ``"fast"`` (the batched backend;
                 results are byte-identical by contract).
 
@@ -140,6 +172,12 @@ class Machine:
         """
         if isinstance(trace, Trace):
             return Simulator(self.config, backend=backend).run(trace)
+        if isinstance(trace, Path):
+            trace = make_trace_ref(trace)
+        if is_trace_ref(trace):
+            instructions = 0 if instructions is None else instructions
+        elif instructions is None:
+            instructions = 50_000
         return run_benchmark(
             trace, self.config, instructions, salt=salt, use_cache=use_cache,
             backend=backend,

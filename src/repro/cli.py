@@ -1,6 +1,6 @@
 """Command-line entry point: ``repro-experiment``.
 
-Three modes:
+Four modes:
 
 * ``repro-experiment [IDS...] [--jobs N] [--json]`` — regenerate the
   paper's tables/figures, fanning each experiment's run grid over N
@@ -9,9 +9,15 @@ Three modes:
 * ``repro-experiment sweep [grid options]`` — run an ad-hoc design-space
   grid (size x ways x latency x policy, each point normalized against
   the parallel baseline of the same shape) without writing code.
+  ``--benchmarks`` accepts ``trace://path[#format]`` refs alongside
+  benchmark names, so ingested traces sweep like synthetic workloads.
 * ``repro-experiment policies [--json]`` — list every policy kind
   registered for each cache side (built-ins and plugins alike), with
   labels and declared parameters.
+* ``repro-experiment trace {formats,inspect,convert,run,report}`` —
+  work with externally captured trace files: list the ingest formats,
+  summarize a file, convert between formats, run one file through the
+  simulator, or render a Table-4-style report over a directory.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from typing import List, Optional
 
 from repro.core.registry import SIDES, iter_policies
 from repro.experiments.common import settings_from_env
-from repro.sim.runner import BACKENDS
+from repro.sim.runner import BACKENDS, RUN_MODES, run_benchmark
 from repro.experiments.registry import (
     experiment_json,
     get_experiment,
@@ -40,6 +46,15 @@ from repro.sweep.analyze import (
     summarize,
 )
 from repro.sweep.engine import SweepEngine, default_jobs
+from repro.workload.formats import (
+    TraceParseError,
+    is_trace_ref,
+    iter_trace_formats,
+    load_trace,
+    make_trace_ref,
+    trace_format_names,
+    write_trace,
+)
 from repro.workload.profiles import benchmark_names
 
 
@@ -58,6 +73,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return sweep_main(argv[1:])
     if argv and argv[0] == "policies":
         return policies_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
@@ -191,6 +208,251 @@ def policies_main(argv: List[str]) -> int:
     return 0
 
 
+def _resolve_backend(explicit: Optional[str]) -> str:
+    """The backend a subcommand runs on: flag, else $REPRO_BACKEND.
+
+    Raises:
+        ValueError: an unknown backend name (from either source).
+    """
+    backend = (
+        explicit if explicit is not None
+        else os.environ.get("REPRO_BACKEND", "reference")
+    )
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; valid: {BACKENDS}")
+    return backend
+
+
+def _ingest_error_message(error: BaseException) -> str:
+    """One-line ingest-failure message, naming the registered formats
+    exactly once however the original message was phrased."""
+    message = str(error)
+    if "registered formats" not in message:
+        message += f" [registered formats: {', '.join(trace_format_names())}]"
+    return message
+
+
+def trace_main(argv: List[str]) -> int:
+    """The ``trace`` subcommand: ingest and run external trace files."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment trace",
+        description=(
+            "Work with externally captured traces: list the registered "
+            "ingest formats, summarize a file, convert between formats, "
+            "run one file through the simulator, or render a Table-4-style "
+            "miss-rate report over a directory of traces."
+        ),
+    )
+    commands = parser.add_subparsers(dest="action", required=True)
+
+    formats_parser = commands.add_parser(
+        "formats", help="list the registered trace formats")
+    formats_parser.add_argument("--json", action="store_true",
+                                help="emit the format registry as a JSON array")
+
+    inspect_parser = commands.add_parser(
+        "inspect", help="stream a trace file and print its instruction mix")
+    inspect_parser.add_argument("file", help="trace file in any registered format")
+    inspect_parser.add_argument("--format", dest="fmt", default=None, metavar="F",
+                                help="format name (default: detect by extension)")
+    inspect_parser.add_argument("--block-bytes", type=int, default=32, metavar="N",
+                                help="block size for unique-block stats (default: 32)")
+    inspect_parser.add_argument("--json", action="store_true",
+                                help="emit the summary as JSON")
+
+    convert_parser = commands.add_parser(
+        "convert", help="re-encode a trace file into another registered format")
+    convert_parser.add_argument("src", help="source trace file")
+    convert_parser.add_argument("dst", help="destination trace file")
+    convert_parser.add_argument("--from", dest="src_fmt", default=None, metavar="F",
+                                help="source format (default: detect by extension)")
+    convert_parser.add_argument("--to", dest="dst_fmt", default=None, metavar="F",
+                                help="destination format (default: detect by extension)")
+    convert_parser.add_argument("--limit", type=int, default=None, metavar="N",
+                                help="convert at most N instructions (default: all)")
+
+    run_parser = commands.add_parser(
+        "run", help="run one trace file through the simulator")
+    run_parser.add_argument("file", help="trace file in any registered format")
+    run_parser.add_argument("--format", dest="fmt", default=None, metavar="F",
+                            help="format name (default: detect by extension)")
+    run_parser.add_argument("--mode", choices=RUN_MODES, default="sim",
+                            help="full simulation or functional miss rate (default: sim)")
+    run_parser.add_argument("--backend", choices=BACKENDS, default=None,
+                            help="simulation backend (default: $REPRO_BACKEND or reference)")
+    run_parser.add_argument("--instructions", type=int, default=0, metavar="N",
+                            help="replay at most N instructions (default: whole file)")
+    run_parser.add_argument("--dcache-policy", default=None, metavar="KIND",
+                            help="d-cache policy kind (default: parallel)")
+    run_parser.add_argument("--icache-policy", default=None, metavar="KIND",
+                            help="i-cache policy kind (default: parallel)")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="bypass the result caches")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit the full flat result record as JSON")
+
+    report_parser = commands.add_parser(
+        "report",
+        help="Table-4-style DM vs 4-way miss-rate report over a trace directory")
+    report_parser.add_argument("directory", help="directory of trace files")
+    report_parser.add_argument("--backend", choices=BACKENDS, default=None,
+                               help="simulation backend (default: $REPRO_BACKEND or reference)")
+    report_parser.add_argument("--instructions", type=int, default=None, metavar="N",
+                               help="replay cap per trace (default: $REPRO_SCALE sizing)")
+    report_parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                               help="worker processes (default: $REPRO_JOBS or 1)")
+    report_parser.add_argument("--json", action="store_true",
+                               help="emit the report rows as JSON")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "formats": _trace_formats,
+        "inspect": _trace_inspect,
+        "convert": _trace_convert,
+        "run": _trace_run,
+        "report": _trace_report,
+    }
+    try:
+        return handlers[args.action](args)
+    except (ValueError, OSError, OverflowError) as error:
+        # OverflowError: a plugin reader yielding out-of-range addresses
+        # overflows the unsigned encoder arrays (built-in readers
+        # range-check at parse time and raise TraceParseError instead).
+        # One line, no traceback.  Ingest failures (missing/corrupt
+        # files) additionally name the registered formats; unrelated
+        # errors (unknown policy, bad backend) print unadorned —
+        # their own messages already name the valid values.
+        message = (
+            _ingest_error_message(error)
+            if isinstance(error, TraceParseError)
+            else str(error)
+        )
+        print(message, file=sys.stderr)
+        return 2
+
+
+def _trace_formats(args) -> int:
+    infos = iter_trace_formats()
+    if args.json:
+        document = [
+            {
+                "name": info.name,
+                "label": info.label,
+                "extensions": list(info.extensions),
+                "writable": info.writer is not None,
+                "version": info.version,
+                "description": info.description,
+            }
+            for info in infos
+        ]
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print("trace formats:")
+    for info in infos:
+        extensions = ", ".join(info.extensions) or "-"
+        mode = "read/write" if info.writer is not None else "read-only"
+        print(f"  {info.name:10s} {info.label:22s} [{extensions}] ({mode}, v{info.version})")
+        if info.description:
+            print(f"  {'':10s} {info.description}")
+    return 0
+
+
+def _trace_inspect(args) -> int:
+    trace = load_trace(args.file, args.fmt)
+    summary = trace.summary(block_bytes=args.block_bytes)
+    if args.json:
+        document = {
+            "file": args.file,
+            "name": trace.name,
+            "block_bytes": args.block_bytes,
+            "instructions": summary.instructions,
+            "loads": summary.loads,
+            "stores": summary.stores,
+            "branches": summary.branches,
+            "calls": summary.calls,
+            "returns": summary.returns,
+            "int_ops": summary.int_ops,
+            "fp_ops": summary.fp_ops,
+            "unique_load_pcs": summary.unique_load_pcs,
+            "unique_blocks_touched": summary.unique_blocks_touched,
+            "load_frac": round(summary.load_frac, 6),
+            "store_frac": round(summary.store_frac, 6),
+            "control_frac": round(summary.control_frac, 6),
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(f"{trace.name} ({args.file})")
+    print(f"  instructions          {summary.instructions}")
+    print(f"  loads / stores        {summary.loads} / {summary.stores} "
+          f"({summary.load_frac:.1%} / {summary.store_frac:.1%})")
+    print(f"  branches/calls/rets   {summary.branches}/{summary.calls}/{summary.returns} "
+          f"({summary.control_frac:.1%} control)")
+    print(f"  int / fp ops          {summary.int_ops} / {summary.fp_ops}")
+    print(f"  unique load PCs       {summary.unique_load_pcs}")
+    print(f"  unique {args.block_bytes}B blocks     {summary.unique_blocks_touched}")
+    return 0
+
+
+def _trace_convert(args) -> int:
+    trace = load_trace(args.src, args.src_fmt, limit=args.limit)
+    written = write_trace(args.dst, iter(trace), args.dst_fmt)
+    print(f"wrote {written} instructions: {args.src} -> {args.dst}")
+    return 0
+
+
+def _trace_run(args) -> int:
+    backend = _resolve_backend(args.backend)
+    if args.instructions < 0:
+        raise ValueError(
+            f"--instructions must be >= 0 (0 = whole file), got {args.instructions}"
+        )
+    config = SystemConfig()
+    if args.dcache_policy is not None:
+        config = config.with_dcache_policy(args.dcache_policy)
+    if args.icache_policy is not None:
+        config = config.with_icache_policy(args.icache_policy)
+    ref = make_trace_ref(args.file, args.fmt)
+    result = run_benchmark(
+        ref, config, args.instructions, mode=args.mode, backend=backend,
+        use_cache=not args.no_cache,
+    )
+    if args.json:
+        print(json.dumps(result.to_flat(), indent=2, sort_keys=True))
+        return 0
+    print(f"{result.benchmark}: {result.core.instructions} instructions "
+          f"({args.mode}, {backend} backend)")
+    if args.mode == "sim":
+        print(f"  cycles / IPC          {result.core.cycles} / {result.core.ipc:.3f}")
+        print(f"  i-cache miss rate     {result.icache.miss_rate:.2%}")
+    print(f"  d-cache miss rate     {result.dcache.miss_rate:.2%} "
+          f"({result.dcache.misses} misses / {result.dcache.accesses} accesses)")
+    if args.mode == "sim":
+        print(f"  d-cache energy        {result.energy.dcache:.1f}")
+        print(f"  processor energy      {result.energy.processor_total:.1f}")
+    return 0
+
+
+def _trace_report(args) -> int:
+    from dataclasses import asdict
+
+    from repro.experiments import external
+
+    settings = settings_from_env()
+    settings = replace(settings, backend=_resolve_backend(args.backend))
+    if args.instructions is not None:
+        if args.instructions < 1:
+            raise ValueError(f"--instructions must be >= 1, got {args.instructions}")
+        settings = replace(settings, instructions=args.instructions)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    engine = SweepEngine(jobs=jobs)
+    if args.json:
+        rows = external.external_rows(args.directory, settings, engine)
+        print(json.dumps([asdict(row) for row in rows], indent=2, sort_keys=True))
+        return 0
+    print(external.render(args.directory, settings, engine))
+    return 0
+
+
 def sweep_main(argv: List[str]) -> int:
     """The ``sweep`` subcommand: ad-hoc d-cache design-space grids."""
     parser = argparse.ArgumentParser(
@@ -207,7 +469,11 @@ def sweep_main(argv: List[str]) -> int:
         type=_str_list,
         default=None,
         metavar="A,B,...",
-        help="applications to average over (default: all eleven)",
+        help=(
+            "applications to average over (default: all eleven); "
+            "trace://path[#format] refs to ingested trace files are "
+            "accepted alongside benchmark names"
+        ),
     )
     parser.add_argument("--sizes", type=_int_list, default=[16], metavar="KB,...",
                         help="d-cache sizes in KB (default: 16)")
@@ -249,26 +515,27 @@ def sweep_main(argv: List[str]) -> int:
         help="simulation backend (default: $REPRO_BACKEND or reference)",
     )
     args = parser.parse_args(argv)
-    # Resolve the backend from the environment directly: the sweep
+    # Resolve the backend from the flag/environment directly: the sweep
     # subcommand sizes its grid from its own flags, so it must not
     # inherit settings_from_env()'s REPRO_SCALE parsing (or its errors).
-    backend = (
-        args.backend
-        if args.backend is not None
-        else os.environ.get("REPRO_BACKEND", "reference")
-    )
-    if backend not in BACKENDS:  # bad $REPRO_BACKEND
-        print(f"unknown backend {backend!r}; valid: {BACKENDS}", file=sys.stderr)
+    try:
+        backend = _resolve_backend(args.backend)
+    except ValueError as error:  # bad $REPRO_BACKEND
+        print(error, file=sys.stderr)
         return 2
 
     if args.benchmarks is not None and not args.benchmarks:
         print("--benchmarks given but empty: nothing to sweep", file=sys.stderr)
         return 2
     benchmarks = args.benchmarks or list(benchmark_names())
-    unknown = [name for name in benchmarks if name not in benchmark_names()]
+    unknown = [
+        name for name in benchmarks
+        if name not in benchmark_names() and not is_trace_ref(name)
+    ]
     if unknown:
         print(
-            f"unknown benchmark(s) {unknown}; valid: {list(benchmark_names())}",
+            f"unknown benchmark(s) {unknown}; valid: {list(benchmark_names())} "
+            f"or trace://path[#format] refs",
             file=sys.stderr,
         )
         return 2
@@ -310,6 +577,9 @@ def sweep_main(argv: List[str]) -> int:
         spec = design_space_spec(points, benchmarks, args.instructions, args.salt,
                                  name="adhoc-sweep", backend=backend)
         sweep = engine.run(spec)
+    except TraceParseError as error:  # missing/corrupt trace:// workload
+        print(_ingest_error_message(error), file=sys.stderr)
+        return 2
     except (ValueError, KeyError) as error:  # bad instructions, engine errors
         print(error, file=sys.stderr)
         return 2

@@ -119,7 +119,7 @@ def _table4_instructions(settings: ExperimentSettings) -> int:
     return max(settings.instructions, 60_000)
 
 
-def _table4_configs() -> tuple:
+def table4_configs() -> tuple:
     """(direct-mapped, 4-way set-associative) 16K d-cache configs."""
     return (
         SystemConfig().with_dcache(associativity=1),
@@ -133,7 +133,7 @@ def sweep_spec(settings: Optional[ExperimentSettings] = None) -> SweepSpec:
     return SweepSpec.from_grid(
         "table4",
         settings.benchmarks,
-        _table4_configs(),
+        table4_configs(),
         _table4_instructions(settings),
         mode="missrate",
         backend=settings.backend,
@@ -148,7 +148,7 @@ def table4_rows(
     settings = settings or settings_from_env()
     engine = engine or default_engine()
     sweep = engine.run(sweep_spec(settings))
-    dm_config, sa_config = _table4_configs()
+    dm_config, sa_config = table4_configs()
     instructions = _table4_instructions(settings)
     rows = []
     for name in settings.benchmarks:

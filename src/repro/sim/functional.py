@@ -14,12 +14,16 @@ This is the *reference* implementation of the functional path;
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.sram import SetAssociativeCache
 from repro.workload.instr import OP_LOAD, OP_STORE
 from repro.workload.trace import Trace
+
+#: Attribute memoizing the buffered memory-op arrays on a trace.
+_MEM_OPS_ATTR = "_functional_mem_ops"
 
 
 @dataclass(frozen=True)
@@ -59,21 +63,40 @@ def measure_miss_rate(
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
     cache = SetAssociativeCache(geometry, replacement=replacement)
-    memory_ops = [i for i in trace.instructions if i.op == OP_LOAD or i.op == OP_STORE]
-    warmup = int(len(memory_ops) * warmup_fraction)
+    # One streaming pass buffering the memory ops into compact unsigned
+    # arrays (9 bytes/op) instead of a materialized Instr list: the
+    # counts are identical, a StreamingTrace (ingested file) is parsed
+    # at most once, and no per-instruction objects outlive their chunk.
+    # The buffers memoize on the trace (like the fast backend's
+    # encoding, but built independently of it — the differential suite
+    # relies on the two paths not sharing decode state), so sweeping
+    # many configurations over one file-backed trace parses it once.
+    memo = getattr(trace, _MEM_OPS_ATTR, None)
+    if memo is None:
+        addrs = array("Q")
+        loads = array("b")
+        for instr in trace:
+            if instr.op == OP_LOAD or instr.op == OP_STORE:
+                addrs.append(instr.addr)
+                loads.append(1 if instr.op == OP_LOAD else 0)
+        memo = (addrs, loads)
+        setattr(trace, _MEM_OPS_ATTR, memo)
+    addrs, loads = memo
+    warmup = int(len(addrs) * warmup_fraction)
 
     accesses = misses = load_accesses = load_misses = 0
-    for position, instr in enumerate(memory_ops):
-        way = cache.probe(instr.addr)
+    for position in range(len(addrs)):
+        addr = addrs[position]
+        way = cache.probe(addr)
         hit = way is not None
         if hit:
-            cache.touch(instr.addr, way)
+            cache.touch(addr, way)
         else:
-            cache.fill(instr.addr)
+            cache.fill(addr)
         if position < warmup:
             continue
         accesses += 1
-        is_load = instr.op == OP_LOAD
+        is_load = loads[position]
         if is_load:
             load_accesses += 1
         if not hit:

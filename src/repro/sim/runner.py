@@ -33,6 +33,13 @@ parallel-access baseline), so results are memoized two ways:
 
 Traces are also memoized per (benchmark, instructions, salt) because
 generation is pure.
+
+Workloads may be files as well as synthetic benchmarks: a benchmark
+name of the form ``trace://path[#format]`` streams the named file
+through the registered reader (:mod:`repro.workload.formats`) instead
+of the generator, with ``instructions`` acting as a replay cap.  Both
+cache layers key such runs by the file's *content fingerprint*
+(:func:`workload_id`), so editing a trace on disk always re-executes.
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ from repro.sim.config import SystemConfig
 from repro.sim.functional import measure_miss_rate
 from repro.sim.results import L1Metrics, SimResult
 from repro.sim.simulator import BACKENDS, Simulator
+from repro.workload.formats import is_trace_ref, load_trace_ref, trace_ref_fingerprint
 from repro.workload.generator import generate_trace
 from repro.workload.trace import Trace
 
@@ -61,6 +69,7 @@ __all__ = [
     "load_cached",
     "run_benchmark",
     "store_result",
+    "workload_id",
 ]
 
 #: Run modes understood by the backend.
@@ -90,6 +99,24 @@ def _disk_cache_dir() -> Optional[Path]:
     return path
 
 
+def workload_id(benchmark: str) -> str:
+    """Content identity of a workload name, as cache keys see it.
+
+    Synthetic benchmark names are their own identity (generation is
+    pure).  A ``trace://`` reference resolves to the named file's
+    content fingerprint — SHA-256 of its bytes plus the reader's format
+    name/version — so editing a trace on disk, or changing how a format
+    is parsed, can never serve a stale cached result.
+
+    Raises:
+        ValueError: a trace reference whose file is missing/unreadable
+            or whose format is unknown.
+    """
+    if is_trace_ref(benchmark):
+        return f"{benchmark}@{trace_ref_fingerprint(benchmark)}"
+    return benchmark
+
+
 def cache_key(
     benchmark: str,
     config: SystemConfig,
@@ -104,11 +131,13 @@ def cache_key(
     fast results are byte-identical by contract, but keeping their
     entries distinct means a cached result always names the backend
     that actually produced it (and a backend bug can never satisfy the
-    other backend's lookups).
+    other backend's lookups).  The v4->v5 bump replaces the raw
+    benchmark name with :func:`workload_id`, folding the content
+    fingerprint of file-backed (``trace://``) workloads into every key.
     """
     payload = (
-        f"{benchmark}|{config.key()}|{instructions}|{salt}|{mode}|{backend}"
-        f"|v4:{SCHEMA_VERSION}"
+        f"{workload_id(benchmark)}|{config.key()}|{instructions}|{salt}|{mode}|{backend}"
+        f"|v5:{SCHEMA_VERSION}"
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -143,7 +172,23 @@ def _store_disk(key: str, result: SimResult) -> None:
 
 
 def get_trace(benchmark: str, instructions: int, salt: int = 0) -> Trace:
-    """Return the (memoized) trace for a benchmark."""
+    """Return the (memoized) trace for a benchmark or ``trace://`` ref.
+
+    Synthetic benchmarks generate exactly ``instructions`` instructions.
+    For a trace reference the file streams back instead: ``instructions``
+    caps the replay length (``<= 0`` means the whole file), ``salt`` is
+    ignored, and the memo key carries the file's content fingerprint so
+    an edited file is re-ingested, never served from memory.
+    """
+    if is_trace_ref(benchmark):
+        key = (workload_id(benchmark), instructions, salt)
+        trace = _TRACE_CACHE.get(key)
+        if trace is None:
+            trace = load_trace_ref(
+                benchmark, limit=instructions if instructions > 0 else None
+            )
+            _TRACE_CACHE[key] = trace
+        return trace
     key = (benchmark, instructions, salt)
     trace = _TRACE_CACHE.get(key)
     if trace is None:
@@ -196,8 +241,12 @@ def execute(
         measured = measure(
             trace, config.dcache.geometry(), replacement=config.replacement
         )
-        result = SimResult(benchmark=benchmark, config_key=config.key())
-        result.core.instructions = instructions
+        result = SimResult(benchmark=trace.name, config_key=config.key())
+        # The replayed count: identical to ``instructions`` for
+        # synthetic benchmarks, the (possibly capped) file length for
+        # ingested traces.  len() is free here — the measurement pass
+        # above already memoized a streaming trace's length.
+        result.core.instructions = len(trace)
         result.dcache = L1Metrics(
             loads=measured.load_accesses,
             stores=measured.accesses - measured.load_accesses,

@@ -30,9 +30,26 @@ from repro.workload.instr import (
     OP_STORE,
     Instr,
 )
+from repro.workload.formats import (
+    TraceFormatInfo,
+    TraceParseError,
+    detect_trace_format,
+    get_trace_format,
+    is_trace_ref,
+    iter_trace_formats,
+    load_trace,
+    load_trace_ref,
+    make_trace_ref,
+    parse_trace_ref,
+    register_trace_format,
+    trace_fingerprint,
+    trace_format_names,
+    unregister_trace_format,
+    write_trace,
+)
 from repro.workload.generator import TraceGenerator, generate_trace
 from repro.workload.profiles import BenchmarkProfile, BENCHMARKS, benchmark_names, get_profile
-from repro.workload.trace import Trace, TraceSummary
+from repro.workload.trace import StreamingTrace, Trace, TraceSummary
 
 __all__ = [
     "BENCHMARKS",
@@ -46,10 +63,26 @@ __all__ = [
     "OP_NAMES",
     "OP_RET",
     "OP_STORE",
+    "StreamingTrace",
     "Trace",
+    "TraceFormatInfo",
     "TraceGenerator",
+    "TraceParseError",
     "TraceSummary",
     "benchmark_names",
+    "detect_trace_format",
     "generate_trace",
     "get_profile",
+    "get_trace_format",
+    "is_trace_ref",
+    "iter_trace_formats",
+    "load_trace",
+    "load_trace_ref",
+    "make_trace_ref",
+    "parse_trace_ref",
+    "register_trace_format",
+    "trace_fingerprint",
+    "trace_format_names",
+    "unregister_trace_format",
+    "write_trace",
 ]

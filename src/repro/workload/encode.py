@@ -23,6 +23,17 @@ once built, and the runner already memoizes traces per benchmark), and
 block decodes are memoized per block size inside the encoding, so a
 sweep that runs many configurations over one trace encodes once and
 decodes once per distinct block size.
+
+Both granularities are built by *chunked iteration* over the source
+trace (:meth:`~repro.workload.trace.Trace.iter_chunks`), never by
+touching ``trace.instructions``: an ingested
+:class:`~repro.workload.trace.StreamingTrace` therefore encodes with at
+most one chunk of ``Instr`` objects alive at a time — the compact flat
+arrays are the only per-instruction state that persists.  The source is
+also iterated *at most once* end to end: whichever granularity builds
+first owns the single pass, and the memory-op stream derives from the
+instruction arrays when those already exist — for a file-backed trace,
+one simulation means one parse.
 """
 
 from __future__ import annotations
@@ -43,9 +54,11 @@ class EncodedTrace:
 
     Attributes:
         name: the source trace's name.
-        instructions: dynamic instruction count of the source trace.
-        addrs: effective data address per memory op (trace order).
-        is_load: 1 for loads, 0 for stores, per memory op.
+        instructions: dynamic instruction count of the source trace
+            (property; triggers the encoding pass if none ran yet).
+        addrs: effective data address per memory op, trace order
+            (property; built on first access).
+        is_load: 1 for loads, 0 for stores, per memory op (property).
         ops/pcs/dsts/src1s/src2s/daddrs/takens/targets/xors: full
             per-instruction arrays, ``None`` until
             :meth:`ensure_instr_arrays` builds them (the miss-rate path
@@ -56,9 +69,10 @@ class EncodedTrace:
 
     __slots__ = (
         "name",
-        "instructions",
-        "addrs",
-        "is_load",
+        "_instructions",
+        "_addrs",
+        "_is_load",
+        "_source",
         "_block_cache",
         "ops",
         "pcs",
@@ -74,12 +88,16 @@ class EncodedTrace:
 
     def __init__(self, trace: Trace) -> None:
         self.name = trace.name
-        self.instructions = len(trace)
-        mem = [i for i in trace.instructions if i.op == OP_LOAD or i.op == OP_STORE]
-        # 64-bit signed arrays: compact, C-backed storage with plain-int
-        # element access (addresses are well under 2**63).
-        self.addrs = array("q", [i.addr for i in mem])
-        self.is_load = array("b", [1 if i.op == OP_LOAD else 0 for i in mem])
+        # Nothing is parsed here: the source is kept until the first
+        # build pass runs, so one simulation costs one iteration of the
+        # trace however it is consumed (miss-rate or full sim).  The
+        # reference is dropped as soon as a pass completes — holding a
+        # StreamingTrace is free, and for in-memory traces the memo
+        # already lives *on* the trace object.
+        self._source: Optional[Trace] = trace
+        self._instructions: Optional[int] = None
+        self._addrs: Optional[array] = None
+        self._is_load: Optional[array] = None
         self._block_cache: Dict[int, List[int]] = {}
         # Instruction-stream arrays: built lazily (ensure_instr_arrays)
         # from the trace the runner keeps memoized anyway.
@@ -93,6 +111,66 @@ class EncodedTrace:
         self.targets: Optional[List[int]] = None
         self.xors: Optional[List[int]] = None
         self._iblock_cache: Dict[int, List[int]] = {}
+
+    # -------------------------------------------------------------- #
+    # Memory-op stream
+    # -------------------------------------------------------------- #
+
+    def _ensure_mem_arrays(self) -> None:
+        """Build ``addrs``/``is_load`` once, without re-reading the
+        source when the instruction arrays already hold everything."""
+        if self._addrs is not None:
+            return
+        # Unsigned 64-bit arrays: compact, C-backed storage with
+        # plain-int element access covering the full address space
+        # (ingested kernel-space addresses exceed 2**63; readers
+        # range-check against 2**64 at parse time).
+        addrs = array("Q")
+        is_load = array("b")
+        if self.ops is not None:
+            ops, daddrs = self.ops, self.daddrs
+            for index in range(len(ops)):
+                op = ops[index]
+                if op == OP_LOAD:
+                    addrs.append(daddrs[index])
+                    is_load.append(1)
+                elif op == OP_STORE:
+                    addrs.append(daddrs[index])
+                    is_load.append(0)
+        else:
+            instructions = 0
+            for chunk in self._source.iter_chunks():
+                instructions += len(chunk)
+                for i in chunk:
+                    if i.op == OP_LOAD:
+                        addrs.append(i.addr)
+                        is_load.append(1)
+                    elif i.op == OP_STORE:
+                        addrs.append(i.addr)
+                        is_load.append(0)
+            self._instructions = instructions
+            self._source = None
+        self._addrs = addrs
+        self._is_load = is_load
+
+    @property
+    def addrs(self) -> array:
+        """Effective data address per memory op (built on first use)."""
+        self._ensure_mem_arrays()
+        return self._addrs
+
+    @property
+    def is_load(self) -> array:
+        """1 for loads, 0 for stores, per memory op (built on first use)."""
+        self._ensure_mem_arrays()
+        return self._is_load
+
+    @property
+    def instructions(self) -> int:
+        """Dynamic instruction count of the source trace."""
+        if self._instructions is None:
+            self._ensure_mem_arrays()
+        return self._instructions
 
     def __len__(self) -> int:
         """Number of memory operations (not instructions)."""
@@ -112,25 +190,53 @@ class EncodedTrace:
             self._block_cache[fields.offset_bits] = blocks
         return blocks
 
+    # -------------------------------------------------------------- #
+    # Instruction stream
+    # -------------------------------------------------------------- #
+
     def ensure_instr_arrays(self, trace: Trace) -> None:
         """Build the full per-instruction arrays once (idempotent).
 
-        Takes the source trace again rather than holding a reference:
-        the encoding must not keep the ``Instr`` objects alive after
-        the runner's own trace memo drops them.
+        Takes the source trace again rather than holding ``Instr``
+        objects: chunked iteration (never ``trace.instructions``) keeps
+        streaming traces from materializing — the nine flat int lists
+        are the only O(n) state, live ``Instr`` objects stay bounded by
+        the chunk size.  After this pass the memory-op stream derives
+        from these arrays, so the source is never read again.
         """
         if self.ops is not None:
             return
-        instrs = trace.instructions
-        self.ops = [i.op for i in instrs]
-        self.pcs = [i.pc for i in instrs]
-        self.dsts = [i.dst for i in instrs]
-        self.src1s = [i.src1 for i in instrs]
-        self.src2s = [i.src2 for i in instrs]
-        self.daddrs = [i.addr for i in instrs]
-        self.takens = [i.taken for i in instrs]
-        self.targets = [i.target for i in instrs]
-        self.xors = [i.xor_handle for i in instrs]
+        ops: List[int] = []
+        pcs: List[int] = []
+        dsts: List[int] = []
+        src1s: List[int] = []
+        src2s: List[int] = []
+        daddrs: List[int] = []
+        takens: List[bool] = []
+        targets: List[int] = []
+        xors: List[int] = []
+        for chunk in trace.iter_chunks():
+            for i in chunk:
+                ops.append(i.op)
+                pcs.append(i.pc)
+                dsts.append(i.dst)
+                src1s.append(i.src1)
+                src2s.append(i.src2)
+                daddrs.append(i.addr)
+                takens.append(i.taken)
+                targets.append(i.target)
+                xors.append(i.xor_handle)
+        self.ops = ops
+        self.pcs = pcs
+        self.dsts = dsts
+        self.src1s = src1s
+        self.src2s = src2s
+        self.daddrs = daddrs
+        self.takens = takens
+        self.targets = targets
+        self.xors = xors
+        self._instructions = len(ops)
+        self._source = None
 
     def iblocks(self, offset_bits: int) -> List[int]:
         """Per-instruction i-cache block indices, memoized per shift.

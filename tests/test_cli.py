@@ -173,3 +173,177 @@ def test_repro_backend_env_selects_fast(monkeypatch):
     assert settings_from_env().backend == "fast"
     monkeypatch.delenv("REPRO_BACKEND")
     assert settings_from_env().backend == "reference"
+
+
+# ------------------------------------------------------------------ #
+# trace subcommand
+# ------------------------------------------------------------------ #
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    """A small CSV trace file written from a synthetic workload."""
+    from repro.workload import generate_trace, write_trace
+
+    path = tmp_path / "gcc.csv.gz"
+    write_trace(path, generate_trace("gcc", 200))
+    return path
+
+
+def test_trace_formats_listing(capsys):
+    assert main(["trace", "formats"]) == 0
+    out = capsys.readouterr().out
+    for name in ("din", "champsim", "csv"):
+        assert name in out
+    assert main(["trace", "formats", "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert {entry["name"] for entry in document} >= {"din", "champsim", "csv"}
+    assert all(entry["writable"] for entry in document if entry["name"] == "csv")
+
+
+def test_trace_inspect_ascii_and_json(trace_file, capsys):
+    assert main(["trace", "inspect", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "instructions" in out and "200" in out
+    assert main(["trace", "inspect", str(trace_file), "--json",
+                 "--block-bytes", "64"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["instructions"] == 200
+    assert document["block_bytes"] == 64
+    assert document["loads"] > 0
+
+
+def test_trace_convert_round_trips(trace_file, tmp_path, capsys):
+    dst = tmp_path / "out.champsim"
+    assert main(["trace", "convert", str(trace_file), str(dst)]) == 0
+    assert "wrote 200 instructions" in capsys.readouterr().out
+    assert main(["trace", "inspect", str(dst), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["instructions"] == 200
+
+
+def test_trace_convert_limit(trace_file, tmp_path, capsys):
+    dst = tmp_path / "out.din"
+    assert main(["trace", "convert", str(trace_file), str(dst), "--limit", "50"]) == 0
+    assert "wrote 50 instructions" in capsys.readouterr().out
+
+
+def test_trace_run_backends_byte_identical(trace_file, capsys):
+    """Acceptance: `trace run` emits identical JSON on both backends."""
+    flats = {}
+    for backend in ("reference", "fast"):
+        assert main(["trace", "run", str(trace_file), "--json",
+                     "--backend", backend]) == 0
+        flats[backend] = capsys.readouterr().out
+    assert flats["reference"] == flats["fast"]
+    document = json.loads(flats["reference"])
+    assert document["benchmark"] == "gcc"
+    assert document["core_instructions"] == 200
+
+
+def test_trace_run_ascii_modes(trace_file, capsys):
+    assert main(["trace", "run", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "cycles / IPC" in out and "d-cache miss rate" in out
+    assert main(["trace", "run", str(trace_file), "--mode", "missrate",
+                 "--instructions", "100", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "100 instructions" in out and "cycles" not in out
+
+
+def test_trace_run_policy_flags(trace_file, capsys):
+    assert main(["trace", "run", str(trace_file),
+                 "--dcache-policy", "seldm_waypred", "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert "seldm_waypred" in document["config_key"]
+
+
+def test_trace_run_unknown_policy_exits_two(trace_file, capsys):
+    assert main(["trace", "run", str(trace_file), "--dcache-policy", "magic"]) == 2
+    err = capsys.readouterr().err
+    assert "magic" in err and "\n" not in err.rstrip("\n")
+    # Non-ingest errors are not decorated with the format registry.
+    assert "registered formats" not in err
+
+
+def test_trace_report_over_directory(trace_file, capsys):
+    directory = trace_file.parent
+    assert main(["trace", "report", str(directory), "--instructions", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "DM miss%" in out and "gcc" in out
+    assert main(["trace", "report", str(directory), "--instructions", "200",
+                 "--json", "--backend", "fast"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows and rows[0]["trace"] == "gcc"
+
+
+def test_trace_error_paths_one_line_naming_formats(tmp_path, capsys):
+    """Unknown/corrupt/missing traces: exit 2, one line, formats named."""
+    missing = tmp_path / "nope.din"
+    assert main(["trace", "run", str(missing)]) == 2
+    err = capsys.readouterr().err
+    assert "nope.din" in err and "registered formats" in err
+    assert len(err.rstrip("\n").splitlines()) == 1
+
+    undetectable = tmp_path / "trace.xyz"
+    undetectable.write_text("0 100\n")
+    assert main(["trace", "inspect", str(undetectable)]) == 2
+    err = capsys.readouterr().err
+    assert "trace.xyz" in err and "registered formats" in err
+
+    corrupt = tmp_path / "bad.din"
+    corrupt.write_text("not a dinero line\n")
+    assert main(["trace", "run", str(corrupt)]) == 2
+    err = capsys.readouterr().err
+    assert "bad.din" in err and "registered formats" in err
+    assert len(err.rstrip("\n").splitlines()) == 1
+
+    assert main(["trace", "report", str(tmp_path / "missingdir")]) == 2
+    assert "not found" in capsys.readouterr().err
+
+    assert main(["trace", "inspect", str(undetectable), "--format", "hologram"]) == 2
+    err = capsys.readouterr().err
+    assert "hologram" in err and "registered formats" in err
+
+
+def test_sweep_accepts_trace_refs(trace_file, capsys):
+    ref = f"trace://{trace_file}"
+    assert sweep_main(["--benchmarks", ref, "--sizes", "16", "--ways", "2",
+                       "--policies", "sequential", "--instructions", "200"]) == 0
+    assert "Design-space sweep" in capsys.readouterr().out
+
+
+def test_sweep_trace_ref_errors_exit_two(tmp_path, capsys):
+    corrupt = tmp_path / "bad.din"
+    corrupt.write_text("junk junk\n")
+    assert sweep_main(["--benchmarks", f"trace://{corrupt}", "--instructions",
+                       "200", "--ways", "2", "--policies", "sequential"]) == 2
+    err = capsys.readouterr().err
+    assert "bad.din" in err and "registered formats" in err
+
+    assert sweep_main(["--benchmarks", f"trace://{tmp_path / 'gone.din'}",
+                       "--instructions", "200"]) == 2
+    err = capsys.readouterr().err
+    assert "gone.din" in err and "registered formats" in err
+
+
+def test_trace_run_icache_policy_and_bad_env_backend(trace_file, monkeypatch, capsys):
+    assert main(["trace", "run", str(trace_file), "--icache-policy", "waypred",
+                 "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert "waypred" in document["config_key"]
+    monkeypatch.setenv("REPRO_BACKEND", "warp")
+    assert main(["trace", "run", str(trace_file)]) == 2
+    assert "unknown backend" in capsys.readouterr().err
+    assert main(["trace", "report", str(trace_file.parent)]) == 2
+    assert "unknown backend" in capsys.readouterr().err
+
+
+def test_trace_report_rejects_bad_instructions(trace_file, capsys):
+    assert main(["trace", "report", str(trace_file.parent),
+                 "--instructions", "0"]) == 2
+    assert "--instructions" in capsys.readouterr().err
+
+
+def test_trace_run_rejects_negative_instructions(trace_file, capsys):
+    assert main(["trace", "run", str(trace_file), "--instructions", "-100"]) == 2
+    assert "--instructions" in capsys.readouterr().err
