@@ -1,48 +1,77 @@
-"""Backend bench: reference vs fast, miss-rate mode and full-sim mode.
+"""Backend bench: the three kernel tiers, miss-rate and full-sim mode.
 
-The repository's performance trajectory in two points:
+The repository's performance trajectory in three points:
 
 * **table4-missrate** — Table 4's grid (every benchmark at 60k dynamic
   instructions through the direct-mapped and 4-way 16K d-caches) in
-  functional miss-rate mode: the batched per-set replay vs the
-  object-dispatch functional model.
+  functional miss-rate mode, through all three tiers: the
+  object-dispatch functional model (``reference``), the batched
+  python per-set replay (``fast``, pinned to the python kernels with
+  ``REPRO_NO_VECTOR``), and the numpy vector kernels (``vector``).
+* **trace-missrate** — the same DM-vs-4-way pair over an *external*
+  file-backed workload (a 60k-instruction trace written to ``csv.gz``
+  and streamed back via ``trace://``), i.e. the Table-4-style report
+  of the trace ingestion subsystem.
 * **fig11-sim** — Figure 11's grid (every benchmark through the
   baseline, the combined seldm+waypred technique, and perfect way
   prediction) in full ``mode="sim"``: the array-state out-of-order
   core, fetch unit, and table-state predictors vs the reference
-  pipeline.
+  pipeline.  (``backend="vector"`` runs this same fast pipeline — the
+  vector tier only accelerates miss-rate mode — so only two tiers are
+  timed here.)
 
-Each workload is executed once per backend with caching disabled and
-traces pre-generated (both backends share the runner's trace memo, so
-neither pays generation inside the timed region; the fast backend's
-one-time trace/instruction-array encoding *is* timed, as it would be
-in a real sweep).
+Every tier is timed twice over the same points with caching disabled
+and traces pre-loaded:
+
+* **cold** — the per-trace derived streams (flat-array encodings, the
+  functional model's memo) are dropped first, so the pass pays
+  first-encounter costs: trace iteration/parsing and array encoding.
+* **warm** — a second pass with those memos hot: the steady-state
+  per-point cost, which is what a sweep over many configurations per
+  trace actually amortizes to.
+
+The headline ``speedup`` of each tier is warm-over-warm (cold is also
+recorded as ``cold_speedup``); the reference tier memoizes its mem-op
+stream the same way, so warm-vs-warm compares like with like.
 
 Run standalone to (re)write ``BENCH_backend.json`` at the repo root::
 
     PYTHONPATH=src python benchmarks/bench_backend.py
 
-or through pytest-benchmark like the other benches.
+or through pytest-benchmark like the other benches.  The record embeds
+the environment (python, platform, CPU count, numpy version or its
+absence) so speedups stay comparable across machines and runs.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
+from contextlib import contextmanager, nullcontext
 from pathlib import Path
 
+import pytest
 from conftest import run_once
 
 from repro.experiments.fig11_processor import comparisons
 from repro.experiments.tables import table4_configs, _table4_instructions
+from repro.fastsim.vector import NO_VECTOR_ENV, vector_enabled
 from repro.sim import runner
+from repro.workload.formats import is_trace_ref, make_trace_ref, parse_trace_ref, write_trace
+from repro.workload.generator import generate_trace
 from repro.workload.profiles import benchmark_names
 
-#: Minimum acceptable speedups of the fast backend per workload.
-MISSRATE_SPEEDUP_FLOOR = 3.0
-SIM_SPEEDUP_FLOOR = 2.0
+#: Minimum acceptable warm speedups over the reference tier.
+MISSRATE_SPEEDUP_FLOOR = 3.0       # python fast tier
+VECTOR_SPEEDUP_FLOOR = 10.0        # numpy vector tier
+SIM_SPEEDUP_FLOOR = 2.0            # full-sim fast pipeline
+
+#: Per-trace memo attributes a cold pass must drop.
+_DERIVED_ATTRS = ("_fastsim_encoded", "_functional_mem_ops")
 
 
 def _fig11_configs():
@@ -66,6 +95,14 @@ def _missrate_workload():
     ]
 
 
+def _trace_workload(directory: Path):
+    """Table-4-style points over an external (file-backed) trace."""
+    path = directory / "external-gcc.csv.gz"
+    write_trace(path, generate_trace("gcc", 60_000).instructions)
+    ref = make_trace_ref(path)
+    return [(ref, config, 0, "missrate") for config in table4_configs()]
+
+
 def _sim_workload(benchmarks=None, instructions=None):
     """(benchmark, config, instructions, mode) points of the fig11 grid."""
     from repro.experiments.common import ExperimentSettings
@@ -79,6 +116,36 @@ def _sim_workload(benchmarks=None, instructions=None):
     ]
 
 
+@contextmanager
+def _python_kernels():
+    """Pin backend resolution to the python tier for the duration."""
+    previous = os.environ.get(NO_VECTOR_ENV)
+    os.environ[NO_VECTOR_ENV] = "1"
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[NO_VECTOR_ENV]
+        else:
+            os.environ[NO_VECTOR_ENV] = previous
+
+
+def _preload_traces(points) -> None:
+    for benchmark, _config, instructions, _mode in points:
+        runner.get_trace(benchmark, instructions)
+
+
+def _clear_derived(points) -> None:
+    """Drop per-trace derived streams so the next pass runs cold."""
+    for benchmark, _config, instructions, _mode in points:
+        trace = runner.get_trace(benchmark, instructions)
+        for attr in _DERIVED_ATTRS:
+            try:
+                delattr(trace, attr)
+            except AttributeError:
+                pass
+
+
 def _time_backend(points, backend: str) -> float:
     started = time.perf_counter()
     for benchmark, config, instructions, mode in points:
@@ -86,69 +153,174 @@ def _time_backend(points, backend: str) -> float:
     return time.perf_counter() - started
 
 
-def _measure_workload(bench_name: str, points) -> dict:
-    """Time both backends over one workload; return its record."""
-    for benchmark, _config, instructions, _mode in points:
-        runner.get_trace(benchmark, instructions)  # pre-generate, shared
-    reference_seconds = _time_backend(points, "reference")
-    fast_seconds = _time_backend(points, "fast")
-    benchmarks = sorted({p[0] for p in points})
+def _time_tier(points, backend: str, pin_python: bool = False):
+    """(cold, warm) seconds for one tier over one workload."""
+    with _python_kernels() if pin_python else nullcontext():
+        _clear_derived(points)
+        cold = _time_backend(points, backend)
+        warm = _time_backend(points, backend)
+    return cold, warm
+
+
+def _best_of(points, backend: str, passes: int = 2) -> float:
+    """Minimum of ``passes`` warm timings: the scheduler-noise floor.
+
+    Single-core CI containers jitter individual passes by 10-20%;
+    the minimum is the stable estimate the speedup floors assert on.
+    """
+    return min(_time_backend(points, backend) for _ in range(passes))
+
+
+def _name(benchmark: str) -> str:
+    """Workload display name: temp-dir paths would churn the record."""
+    if is_trace_ref(benchmark):
+        path, _fmt = parse_trace_ref(benchmark)
+        return f"trace://{Path(path).name}"
+    return benchmark
+
+
+def _describe_workload(points) -> dict:
+    benchmarks = sorted({_name(p[0]) for p in points})
     configs = []
     for _benchmark, config, _instructions, _mode in points:
         described = config.describe()
         if described not in configs:
             configs.append(described)
     return {
-        "bench": bench_name,
-        "workload": {
-            "benchmarks": benchmarks,
-            "configs": configs,
-            "instructions": points[0][2],
-            "mode": points[0][3],
-            "runs": len(points),
-        },
-        "reference_seconds": round(reference_seconds, 4),
-        "fast_seconds": round(fast_seconds, 4),
-        "speedup": round(reference_seconds / fast_seconds, 2),
+        "benchmarks": benchmarks,
+        "configs": configs,
+        "instructions": points[0][2],
+        "mode": points[0][3],
+        "runs": len(points),
+    }
+
+
+def _measure_workload(bench_name: str, points, tiers) -> dict:
+    """Time the given tiers over one workload; return its record.
+
+    ``tiers`` is a list of ``(label, backend, pin_python)`` rows; the
+    first row is the baseline every speedup is relative to.  A tier
+    labelled ``vector`` reports ``null`` when numpy is unavailable.
+    """
+    _preload_traces(points)
+    record = {"bench": bench_name, "workload": _describe_workload(points), "tiers": {}}
+    baseline_cold = baseline_warm = None
+    for label, backend, pin_python in tiers:
+        if label == "vector" and not vector_enabled():
+            record["tiers"][label] = None
+            continue
+        cold, warm = _time_tier(points, backend, pin_python)
+        entry = {"cold_seconds": round(cold, 4), "warm_seconds": round(warm, 4)}
+        if baseline_cold is None:
+            baseline_cold, baseline_warm = cold, warm
+        else:
+            entry["cold_speedup"] = round(baseline_cold / cold, 2)
+            entry["speedup"] = round(baseline_warm / warm, 2)
+        record["tiers"][label] = entry
+    return record
+
+
+#: Tier rows for miss-rate benches: the python fast tier is pinned via
+#: the opt-out so it cannot silently auto-upgrade to the vector kernels.
+_MISSRATE_TIERS = (
+    ("reference", "reference", False),
+    ("fast", "fast", True),
+    ("vector", "vector", False),
+)
+
+#: Full-sim runs build the same pipeline for fast and vector, so only
+#: the genuinely distinct implementations are timed.
+_SIM_TIERS = (
+    ("reference", "reference", False),
+    ("fast", "fast", False),
+)
+
+
+def _environment() -> dict:
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
     }
 
 
 def measure() -> dict:
-    """Time both backends over both workloads; return the full record."""
-    return {
-        "benches": [
-            _measure_workload("table4-missrate", _missrate_workload()),
-            _measure_workload("fig11-sim", _sim_workload()),
-        ],
-        "python": platform.python_version(),
-    }
+    """Time every tier over every workload; return the full record."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        benches = [
+            _measure_workload("table4-missrate", _missrate_workload(), _MISSRATE_TIERS),
+            _measure_workload("trace-missrate", _trace_workload(Path(tmp)), _MISSRATE_TIERS),
+            _measure_workload("fig11-sim", _sim_workload(), _SIM_TIERS),
+        ]
+    return {"benches": benches, "environment": _environment()}
 
 
 def test_fast_backend_missrate_speedup(benchmark):
-    """Fast backend clears the 3x floor on the Table-4 miss-rate sweep."""
+    """The python fast tier clears the 3x floor on the Table-4 sweep."""
     points = _missrate_workload()
-    for bench_name, _config, instructions, _mode in points:
-        runner.get_trace(bench_name, instructions)
-    reference_seconds = _time_backend(points, "reference")
-    fast_seconds = run_once(benchmark, lambda: _time_backend(points, "fast"))
+    _preload_traces(points)
+    with _python_kernels():
+        _clear_derived(points)
+        _time_backend(points, "reference")
+        reference_seconds = _best_of(points, "reference")
+        _time_backend(points, "fast")
+        fast_seconds = run_once(benchmark, lambda: _best_of(points, "fast"))
     speedup = reference_seconds / fast_seconds
     print(f"\nmissrate: reference {reference_seconds:.3f}s fast {fast_seconds:.3f}s "
           f"speedup {speedup:.2f}x")
     assert speedup >= MISSRATE_SPEEDUP_FLOOR
 
 
+def test_vector_backend_missrate_speedup(benchmark):
+    """The vector tier clears the 10x floor on the Table-4 sweep."""
+    if not vector_enabled():
+        pytest.skip("numpy unavailable (or vector tier opted out)")
+    points = _missrate_workload()
+    _preload_traces(points)
+    _clear_derived(points)
+    _time_backend(points, "reference")
+    reference_seconds = _best_of(points, "reference")
+    _time_backend(points, "vector")
+    vector_seconds = run_once(benchmark, lambda: _best_of(points, "vector"))
+    speedup = reference_seconds / vector_seconds
+    print(f"\nmissrate: reference {reference_seconds:.3f}s vector {vector_seconds:.3f}s "
+          f"speedup {speedup:.2f}x")
+    assert speedup >= VECTOR_SPEEDUP_FLOOR
+
+
 def test_fast_backend_sim_speedup(benchmark):
     """Fast backend clears the 2x floor on the fig11 full-sim grid
     (subset grid: the pytest bench keeps wall-clock friendly)."""
     points = _sim_workload(benchmarks=("gcc", "swim", "mgrid"), instructions=20_000)
-    for bench_name, _config, instructions, _mode in points:
-        runner.get_trace(bench_name, instructions)
-    reference_seconds = _time_backend(points, "reference")
-    fast_seconds = run_once(benchmark, lambda: _time_backend(points, "fast"))
+    _preload_traces(points)
+    reference_seconds = _best_of(points, "reference")
+    fast_seconds = run_once(benchmark, lambda: _best_of(points, "fast"))
     speedup = reference_seconds / fast_seconds
     print(f"\nsim: reference {reference_seconds:.3f}s fast {fast_seconds:.3f}s "
           f"speedup {speedup:.2f}x")
     assert speedup >= SIM_SPEEDUP_FLOOR
+
+
+def _floor(bench: dict, tier: str) -> bool:
+    entry = bench["tiers"].get(tier)
+    if entry is None:
+        return True  # tier unavailable here: nothing to hold to a floor
+    floors = {
+        ("table4-missrate", "fast"): MISSRATE_SPEEDUP_FLOOR,
+        ("table4-missrate", "vector"): VECTOR_SPEEDUP_FLOOR,
+        ("trace-missrate", "fast"): MISSRATE_SPEEDUP_FLOOR,
+        ("trace-missrate", "vector"): VECTOR_SPEEDUP_FLOOR,
+        ("fig11-sim", "fast"): SIM_SPEEDUP_FLOOR,
+    }
+    return entry["speedup"] >= floors[(bench["bench"], tier)]
 
 
 def main() -> int:
@@ -157,8 +329,12 @@ def main() -> int:
     out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(record, indent=2))
     print(f"wrote {out}")
-    floors = {"table4-missrate": MISSRATE_SPEEDUP_FLOOR, "fig11-sim": SIM_SPEEDUP_FLOOR}
-    ok = all(b["speedup"] >= floors[b["bench"]] for b in record["benches"])
+    ok = all(
+        _floor(bench, tier)
+        for bench in record["benches"]
+        for tier in bench["tiers"]
+        if tier != "reference"
+    )
     return 0 if ok else 1
 
 

@@ -109,8 +109,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=BACKENDS,
         default=None,
         help=(
-            "simulation backend: 'reference' (object-dispatch engines) or "
-            "'fast' (batched kernels; byte-identical reports). "
+            "simulation backend: 'reference' (object-dispatch engines), "
+            "'fast' (batched kernels), or 'vector' (numpy miss-rate "
+            "kernels); reports are byte-identical. "
             "Default: $REPRO_BACKEND or reference"
         ),
     )

@@ -36,9 +36,10 @@ class ExperimentSettings:
     Attributes:
         instructions: trace length per (benchmark, config) run.
         benchmarks: which applications to include (paper order).
-        backend: simulation backend every run uses (``"reference"`` or
-            the batched ``"fast"`` backend; reports are identical by
-            the fast backend's equivalence contract).
+        backend: simulation backend every run uses (``"reference"``,
+            the batched ``"fast"`` backend, or the numpy ``"vector"``
+            tier; reports are identical by the backends' equivalence
+            contract).
     """
 
     instructions: int = DEFAULT_INSTRUCTIONS

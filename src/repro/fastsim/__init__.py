@@ -1,7 +1,7 @@
 """The batched fast-path simulation backend.
 
-Every result the project reports can be produced by one of two
-backends:
+Every result the project reports can be produced by one of three
+backend tiers:
 
 * ``"reference"`` — the original object-dispatch engines: per-access
   :class:`~repro.core.engine.DCacheEngine` /
@@ -17,6 +17,14 @@ backends:
   (:mod:`repro.fastsim.core`, :mod:`repro.fastsim.fetch`) with the
   table-state branch predictors of :mod:`repro.fastsim.predictors`,
   so ``mode="sim"`` runs batched end to end.
+* ``"vector"`` — the numpy kernel tier (:mod:`repro.fastsim.vector`)
+  for functional miss-rate runs: direct-mapped and LRU replays become
+  whole-stream gather/scatter classification, tree-PLRU a
+  round-partitioned batched state advance.  ``backend="fast"``
+  auto-upgrades to it when numpy is importable (opt out with
+  ``REPRO_NO_VECTOR=1``); policies whose victims are object-driven
+  (``fifo``/``random``, plugins) and environments without numpy fall
+  back to the python kernels silently and losslessly.
 
 The fast backend's contract is *byte-identical results*: the same
 :class:`~repro.sim.functional.MissRateResult` and the same
@@ -42,6 +50,12 @@ from repro.fastsim.predictors import (
     FastHybridPredictor,
     FastReturnAddressStack,
 )
+from repro.fastsim.vector import (
+    numpy_available,
+    resolve_tier,
+    vector_enabled,
+    vector_miss_rate,
+)
 
 __all__ = [
     "FastBackendUnsupported",
@@ -54,4 +68,8 @@ __all__ = [
     "FastReturnAddressStack",
     "fast_dcache_kinds",
     "fast_miss_rate",
+    "numpy_available",
+    "resolve_tier",
+    "vector_enabled",
+    "vector_miss_rate",
 ]

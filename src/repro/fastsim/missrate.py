@@ -10,17 +10,27 @@ instead of a tower of cache/set/block/replacement objects.
 Two replay strategies:
 
 * LRU (the paper's default and the hot path): each set is one list of
-  resident block addresses in MRU-first order.  Hit/miss and recency
-  both fall out of ``list.remove`` + ``insert``.
+  resident block addresses in MRU-first order.  An MRU short-circuit
+  skips all list surgery for the most common access — a repeat of the
+  set's most recent block — and everything else falls out of
+  ``list.remove`` + ``insert``.  (Index-slot recency arrays with
+  per-way stamps were measured here and lost: at the paper's 4-way
+  associativity the C-level scan of a tiny list beats per-access stamp
+  bookkeeping and argmin scans in pure Python.)
 * Any other registered replacement (``fifo``/``random``/``plru``):
   way-indexed slot lists driven by the *real*
   :mod:`repro.cache.replacement` policy objects, so victim choice —
   including the deterministic RNG stream of ``random`` — is identical
   to the reference by construction.
+
+A third tier vectorizes the same computation with numpy when available
+(:mod:`repro.fastsim.vector`); this module stays dependency-free and is
+its per-policy fallback.
 """
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Union
 
 from repro.cache.geometry import CacheGeometry
@@ -90,15 +100,23 @@ def _replay_direct_mapped(blocks, is_load, geometry: CacheGeometry, warmup: int)
 
 
 def _replay_lru(blocks, is_load, geometry: CacheGeometry, warmup: int):
-    """MRU-first block lists: residency and recency in one structure."""
+    """MRU-first block lists: residency and recency in one structure.
+
+    The hot-path trick is the MRU short-circuit: most accesses repeat
+    the set's most recent block (spatial runs through a cache line),
+    and for those the list is already in order — no remove/insert at
+    all.  Iteration pairs the two streams with ``zip``/``islice`` so
+    the loop never pays per-access integer indexing.
+    """
     set_mask = bit_mask(geometry.fields.index_bits)
     assoc = geometry.associativity
     orders = [[] for _ in range(geometry.num_sets)]
 
     # Warmup phase: evolve state, count nothing.
-    for pos in range(warmup):
-        block = blocks[pos]
+    for block in islice(blocks, warmup):
         order = orders[block & set_mask]
+        if order and order[0] == block:
+            continue  # already MRU: nothing moves
         try:
             order.remove(block)  # hit: re-insert at MRU below
         except ValueError:
@@ -107,19 +125,21 @@ def _replay_lru(blocks, is_load, geometry: CacheGeometry, warmup: int):
         order.insert(0, block)
 
     accesses = misses = load_accesses = load_misses = 0
-    for pos in range(warmup, len(blocks)):
-        block = blocks[pos]
+    for block, load in zip(islice(blocks, warmup, None), islice(is_load, warmup, None)):
         order = orders[block & set_mask]
-        try:
-            order.remove(block)
+        if order and order[0] == block:
             hit = True
-        except ValueError:
-            hit = False
-            if len(order) >= assoc:
-                order.pop()
-        order.insert(0, block)
+        else:
+            try:
+                order.remove(block)
+                hit = True
+            except ValueError:
+                hit = False
+                if len(order) >= assoc:
+                    order.pop()
+            order.insert(0, block)
         accesses += 1
-        if is_load[pos]:
+        if load:
             load_accesses += 1
             if not hit:
                 misses += 1

@@ -7,7 +7,13 @@ two run modes — ``"sim"`` (the full out-of-order simulator) and
 ``backend`` argument selects the implementation of either mode:
 ``"fast"`` runs miss-rate points through the batched per-set replay and
 sim points through the array-state core/fetch/engine pipeline of
-:mod:`repro.fastsim`, byte-identical to ``"reference"`` by contract.
+:mod:`repro.fastsim`; ``"vector"`` runs miss-rate points through the
+numpy kernels (:mod:`repro.fastsim.vector`) and sim points through the
+same fast pipeline.  All tiers are byte-identical to ``"reference"`` by
+contract, and resolution is dynamic (:func:`repro.fastsim.resolve_tier`):
+``"fast"`` auto-upgrades miss-rate runs to the vector kernels when
+numpy is importable, ``"vector"`` silently degrades without it, and
+``REPRO_NO_VECTOR=1`` pins both to the python kernels.
 The engine composes the primitives directly:
 
 * :func:`load_cached` — resolve a run against the in-process and
@@ -51,6 +57,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.fastsim.missrate import fast_miss_rate
+from repro.fastsim.vector import resolve_tier, vector_miss_rate
 from repro.sim.config import SystemConfig
 from repro.sim.functional import measure_miss_rate
 from repro.sim.results import L1Metrics, SimResult
@@ -74,6 +81,13 @@ __all__ = [
 
 #: Run modes understood by the backend.
 RUN_MODES = ("sim", "missrate")
+
+#: Functional measurement per resolved kernel tier.
+_MISSRATE_MEASURES = {
+    "reference": measure_miss_rate,
+    "fast": fast_miss_rate,
+    "vector": vector_miss_rate,
+}
 
 _RESULT_CACHE: Dict[str, SimResult] = {}
 _TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
@@ -134,10 +148,15 @@ def cache_key(
     other backend's lookups).  The v4->v5 bump replaces the raw
     benchmark name with :func:`workload_id`, folding the content
     fingerprint of file-backed (``trace://``) workloads into every key.
+    The v5->v6 bump adds the *resolved* kernel tier next to the
+    requested backend: backend resolution is environment-dependent
+    (``"fast"`` auto-upgrades to the vector kernels when numpy is
+    importable), so the tier that actually executed must be part of
+    the entry's identity for the same provenance reason.
     """
     payload = (
         f"{workload_id(benchmark)}|{config.key()}|{instructions}|{salt}|{mode}|{backend}"
-        f"|v5:{SCHEMA_VERSION}"
+        f"|{resolve_tier(backend, mode)}|v6:{SCHEMA_VERSION}"
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -237,7 +256,7 @@ def execute(
         return Simulator(config, backend=backend).run(trace)
     if mode == "missrate":
         trace = get_trace(benchmark, instructions, salt)
-        measure = fast_miss_rate if backend == "fast" else measure_miss_rate
+        measure = _MISSRATE_MEASURES[resolve_tier(backend, mode)]
         measured = measure(
             trace, config.dcache.geometry(), replacement=config.replacement
         )

@@ -11,6 +11,12 @@ Two interchangeable backends build the L1 engines:
   silently fall back to the reference engine for that cache side, so
   the fast backend is always safe to request.
 
+``"vector"`` is also accepted and builds the same fast pipeline: the
+vector tier accelerates functional miss-rate runs only
+(:mod:`repro.fastsim.vector`), while full simulation keeps the scalar
+array-state engines so energy accumulates in the reference's exact
+float-addition order.
+
 The backend also selects the pipeline implementation for ``run``: the
 fast backend replays the pre-encoded instruction arrays through the
 array-state core and fetch unit (:class:`~repro.fastsim.core.FastCore`,
@@ -53,8 +59,10 @@ from repro.sim.results import (
 from repro.workload.trace import Trace
 
 
-#: L1-engine backends the simulator can build.
-BACKENDS = ("reference", "fast")
+#: Backend tiers a run can request.  The simulator builds the same
+#: array-state pipeline for "fast" and "vector" (see module docstring);
+#: the tiers only diverge on the functional miss-rate path.
+BACKENDS = ("reference", "fast", "vector")
 
 
 class Simulator:
@@ -63,7 +71,9 @@ class Simulator:
     Args:
         config: the system to build.
         wattch: processor-energy parameters (defaults to the paper's).
-        backend: ``"reference"`` or ``"fast"`` (see the module docstring).
+        backend: ``"reference"``, ``"fast"``, or ``"vector"`` (see the
+            module docstring; the last two build identical pipelines
+            here).
     """
 
     def __init__(
@@ -112,7 +122,7 @@ class Simulator:
         # L1 engines, per the selected backend.
         self.dcache = None
         self.icache = None
-        if backend == "fast":
+        if backend != "reference":
             try:
                 self.dcache = FastDCacheEngine(
                     geometry=config.dcache.geometry(),
@@ -168,7 +178,7 @@ class Simulator:
     def run(self, trace: Trace) -> SimResult:
         """Execute ``trace`` and assemble the result record."""
         core_stats = CoreStats()
-        if self.backend == "fast":
+        if self.backend != "reference":
             fast_fetch = FastFetchUnit(trace, self.icache, self.config.core, core_stats)
             FastCore(self.config.core, fast_fetch, self.dcache, core_stats).run()
         else:

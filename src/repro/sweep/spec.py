@@ -29,9 +29,11 @@ class RunSpec:
         salt: trace-generation salt (distinct salts = distinct traces).
         mode: ``"sim"`` for the full out-of-order simulation or
             ``"missrate"`` for the functional hit/miss model (Table 4).
-        backend: ``"reference"`` or ``"fast"`` (the batched backend;
-            results are byte-identical, the backends trade
-            introspectability for speed).
+        backend: ``"reference"``, ``"fast"`` (the batched backend), or
+            ``"vector"`` (the numpy kernel tier; miss-rate mode only,
+            sim points run the fast pipeline).  Results are
+            byte-identical — the tiers trade introspectability for
+            speed.
     """
 
     benchmark: str

@@ -34,6 +34,16 @@ also iterated *at most once* end to end: whichever granularity builds
 first owns the single pass, and the memory-op stream derives from the
 instruction arrays when those already exist — for a file-backed trace,
 one simulation means one parse.
+
+When numpy is importable, the memory-op stream is additionally exposed
+as numpy arrays (:meth:`EncodedTrace.addrs_np`,
+:meth:`EncodedTrace.is_load_np`, and the per-geometry
+:meth:`EncodedTrace.blocks_np` / :meth:`EncodedTrace.set_indices_np` /
+:meth:`EncodedTrace.tags_np` decodes) for the vector kernel tier
+(:mod:`repro.fastsim.vector`).  The base views are zero-copy
+``frombuffer`` wrappers over the chunk-built ``array`` storage — the
+streaming memory bound survives untouched — and every view is marked
+read-only so the memos cannot be corrupted through an aliased array.
 """
 
 from __future__ import annotations
@@ -41,9 +51,14 @@ from __future__ import annotations
 from array import array
 from typing import Dict, List, Optional
 
-from repro.utils.bitops import AddressFields
+from repro.utils.bitops import AddressFields, bit_mask
 from repro.workload.instr import OP_LOAD, OP_STORE
 from repro.workload.trace import Trace
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
 
 #: Attribute used to memoize the encoding on the trace object.
 _CACHE_ATTR = "_fastsim_encoded"
@@ -74,6 +89,7 @@ class EncodedTrace:
         "_is_load",
         "_source",
         "_block_cache",
+        "_np_cache",
         "ops",
         "pcs",
         "dsts",
@@ -99,6 +115,9 @@ class EncodedTrace:
         self._addrs: Optional[array] = None
         self._is_load: Optional[array] = None
         self._block_cache: Dict[int, List[int]] = {}
+        # Numpy views/decodes of the memory-op stream, memoized by
+        # (kind, shift/mask) tuples; empty forever when numpy is absent.
+        self._np_cache: Dict[tuple, "object"] = {}
         # Instruction-stream arrays: built lazily (ensure_instr_arrays)
         # from the trace the runner keeps memoized anyway.
         self.ops: Optional[List[int]] = None
@@ -189,6 +208,104 @@ class EncodedTrace:
             blocks = fields.decode_blocks(self.addrs)
             self._block_cache[fields.offset_bits] = blocks
         return blocks
+
+    # -------------------------------------------------------------- #
+    # Numpy views of the memory-op stream (the vector kernel tier)
+    # -------------------------------------------------------------- #
+
+    @staticmethod
+    def _require_numpy() -> None:
+        if _np is None:
+            raise RuntimeError(
+                "numpy is not importable; the vector tier is unavailable "
+                "(install the [vector] extra or use the python tiers)"
+            )
+
+    def addrs_np(self):
+        """Zero-copy read-only ``uint64`` view of :attr:`addrs`.
+
+        Shares the chunk-built ``array`` buffer — no per-element copy,
+        and the streaming-encode memory bound is untouched.
+
+        Raises:
+            RuntimeError: numpy is not importable.
+        """
+        self._require_numpy()
+        view = self._np_cache.get(("addrs",))
+        if view is None:
+            view = _np.frombuffer(self.addrs, dtype=_np.uint64)
+            view.flags.writeable = False
+            self._np_cache[("addrs",)] = view
+        return view
+
+    def is_load_np(self):
+        """Zero-copy read-only boolean view of :attr:`is_load`.
+
+        Raises:
+            RuntimeError: numpy is not importable.
+        """
+        self._require_numpy()
+        view = self._np_cache.get(("is_load",))
+        if view is None:
+            view = _np.frombuffer(self.is_load, dtype=_np.int8).view(_np.bool_)
+            view.flags.writeable = False
+            self._np_cache[("is_load",)] = view
+        return view
+
+    def blocks_np(self, fields: AddressFields):
+        """Block-address stream as a read-only ``uint64`` array.
+
+        The numpy analogue of :meth:`blocks`, memoized per block size
+        exactly the same way (shared by every geometry with the same
+        ``offset_bits``).
+
+        Raises:
+            RuntimeError: numpy is not importable.
+        """
+        self._require_numpy()
+        key = ("blocks", fields.offset_bits)
+        blocks = self._np_cache.get(key)
+        if blocks is None:
+            blocks = self.addrs_np() >> _np.uint64(fields.offset_bits)
+            blocks.flags.writeable = False
+            self._np_cache[key] = blocks
+        return blocks
+
+    def set_indices_np(self, fields: AddressFields):
+        """Set-index stream as a read-only ``uint64`` array.
+
+        Memoized per (block size, set count); the kernels themselves
+        derive indices inline as ``block & (num_sets - 1)``, so this
+        decode only materializes when asked for.
+
+        Raises:
+            RuntimeError: numpy is not importable.
+        """
+        self._require_numpy()
+        key = ("sets", fields.offset_bits, fields.index_bits)
+        indices = self._np_cache.get(key)
+        if indices is None:
+            indices = self.blocks_np(fields) & _np.uint64(bit_mask(fields.index_bits))
+            indices.flags.writeable = False
+            self._np_cache[key] = indices
+        return indices
+
+    def tags_np(self, fields: AddressFields):
+        """Tag stream as a read-only ``uint64`` array, memoized per
+        total (offset + index) shift.
+
+        Raises:
+            RuntimeError: numpy is not importable.
+        """
+        self._require_numpy()
+        shift = fields.offset_bits + fields.index_bits
+        key = ("tags", shift)
+        tags = self._np_cache.get(key)
+        if tags is None:
+            tags = self.addrs_np() >> _np.uint64(shift)
+            tags.flags.writeable = False
+            self._np_cache[key] = tags
+        return tags
 
     # -------------------------------------------------------------- #
     # Instruction stream

@@ -6,7 +6,9 @@ backends — every d-cache policy kind and every i-cache policy kind in
 the registry — and assert ``SimResult.to_flat()`` equality field for
 field (integer counters, access-kind breakdowns, and energy floats
 alike), plus :class:`MissRateResult` equality for the functional path
-across every replacement policy and the warmup-fraction edges.
+across every replacement policy and the warmup-fraction edges — with
+the numpy vector tier held to the same byte-identical contract as a
+third leg of the miss-rate property.
 
 Full-sim mode is covered on both pipeline implementations: the fast
 backend runs the batched core/fetch pair (:mod:`repro.fastsim.core`,
@@ -36,6 +38,7 @@ from repro.cpu.ooo import OutOfOrderCore
 from repro.cpu.stats import CoreStats
 from repro.fastsim import FastCore, FastFetchUnit
 from repro.fastsim.missrate import fast_miss_rate
+from repro.fastsim.vector import vector_miss_rate
 from repro.sim.config import CacheLevelConfig, SystemConfig
 from repro.sim.functional import measure_miss_rate
 from repro.sim.simulator import Simulator
@@ -266,12 +269,15 @@ def test_replacement_policies_identical(replacement, trace):
     replacement=st.sampled_from(["lru", "fifo", "random", "plru"]),
 )
 def test_miss_rate_identical(trace, warmup, assoc, replacement):
-    """fast_miss_rate == measure_miss_rate at every warmup fraction,
-    including the 0.0 and near-1.0 edges."""
+    """fast_miss_rate == vector_miss_rate == measure_miss_rate at
+    every warmup fraction, including the 0.0 and near-1.0 edges.
+    (Without numpy the vector tier transparently replays the python
+    kernels, so this property holds on every install.)"""
     geometry = CacheGeometry(1024, assoc, 32)
     reference = measure_miss_rate(trace, geometry, replacement, warmup)
     fast = fast_miss_rate(trace, geometry, replacement, warmup)
-    assert reference == fast
+    vector = vector_miss_rate(trace, geometry, replacement, warmup)
+    assert reference == fast == vector
 
 
 def test_miss_rate_rejects_bad_warmup():
@@ -283,6 +289,8 @@ def test_miss_rate_rejects_bad_warmup():
             measure_miss_rate(trace, geometry, warmup_fraction=warmup)
         with pytest.raises(ValueError):
             fast_miss_rate(trace, geometry, warmup_fraction=warmup)
+        with pytest.raises(ValueError):
+            vector_miss_rate(trace, geometry, warmup_fraction=warmup)
 
 
 @pytest.mark.parametrize("assoc", [1, 2])
@@ -295,3 +303,5 @@ def test_miss_rate_rejects_unknown_replacement(assoc):
         measure_miss_rate(trace, geometry, replacement="bogus")
     with pytest.raises(ValueError, match="unknown replacement"):
         fast_miss_rate(trace, geometry, replacement="bogus")
+    with pytest.raises(ValueError, match="unknown replacement"):
+        vector_miss_rate(trace, geometry, replacement="bogus")

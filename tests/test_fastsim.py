@@ -184,7 +184,7 @@ def test_cache_keys_never_collide_across_backends():
         for mode in runner.RUN_MODES
         for backend in runner.BACKENDS
     }
-    assert len(keys) == 4
+    assert len(keys) == len(runner.RUN_MODES) * len(runner.BACKENDS)
 
 
 def test_runspec_carries_and_validates_backend():

@@ -4,9 +4,9 @@ Each experiment is rendered at a small, fixed scale (two applications,
 short traces — enough to exercise every code path deterministically)
 and diffed byte-for-byte against a committed snapshot under
 ``tests/golden/``.  The same snapshot must also be reproduced by the
-fast backend, which pins the CLI-level guarantee that
-``repro-experiment --backend fast`` emits reports identical to
-``--backend reference``.
+fast and vector backends, which pins the CLI-level guarantee that
+``repro-experiment --backend fast`` (or ``vector``) emits reports
+identical to ``--backend reference``.
 
 Regenerating snapshots (after an intentional model change)::
 
@@ -83,3 +83,17 @@ def test_fast_backend_reproduces_golden(experiment_id, request):
     path = _golden_path(experiment_id)
     assert path.exists(), f"missing golden snapshot {path}"
     assert _render(experiment_id, "fast") == path.read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("experiment_id", GOLDEN_EXPERIMENTS)
+def test_vector_backend_reproduces_golden(experiment_id, request):
+    """Vector-backend render is byte-identical to the same snapshot.
+
+    With numpy installed this drives the numpy kernels through every
+    miss-rate experiment; without it the tier falls back to the python
+    kernels, so the property still holds (and still runs)."""
+    if request.config.getoption("--update-golden"):
+        pytest.skip("snapshots regenerate from the reference backend")
+    path = _golden_path(experiment_id)
+    assert path.exists(), f"missing golden snapshot {path}"
+    assert _render(experiment_id, "vector") == path.read_text(encoding="utf-8")

@@ -420,6 +420,38 @@ class TestChunkedEncodingMemoryBound:
         assert long_peak <= 2 * chunk
         assert long_peak <= short_peak + chunk // 4
 
+    def test_numpy_views_preserve_streaming_bound(self):
+        """The numpy views wrap the chunk-built array storage: building
+        them (and the per-geometry block decode) never re-materializes
+        the source, so peak live Instr stays chunk-bounded on the array
+        path exactly as on the list path."""
+        np = pytest.importorskip("numpy")
+        chunk = 256
+        n = 20_000
+        live = set()
+        peak = 0
+
+        def opener():
+            nonlocal peak
+            for k in range(n):
+                op = OP_LOAD if k % 3 == 0 else (OP_STORE if k % 7 == 0 else OP_INT)
+                instr = _TrackedInstr(
+                    pc=0x1000 + 4 * k, op=op, dst=1, addr=(k * 64) & 0xFFFF
+                )
+                live.add(weakref.ref(instr, live.discard))
+                peak = max(peak, len(live))
+                yield instr
+
+        trace = StreamingTrace("synth", opener, chunk_instructions=chunk)
+        encoded = encode_trace(trace)
+        fields = SystemConfig().dcache.geometry().fields
+        addrs = encoded.addrs_np()  # triggers the chunked encode pass
+        blocks = encoded.blocks_np(fields)
+        assert peak <= 2 * chunk
+        assert addrs.shape == blocks.shape == (len(encoded),)
+        # Zero-copy: the view aliases the chunk-built array storage.
+        assert np.shares_memory(addrs, np.frombuffer(encoded.addrs, dtype=np.uint64))
+
     def test_each_simulation_path_parses_the_source_once(self):
         """Miss-rate (both backends) and fast full-sim each consume the
         streaming source exactly once — encode granularities share one
