@@ -1,0 +1,210 @@
+"""Service bench: end-to-end job latency and warm-path throughput.
+
+Three measurements over an embedded service (one worker, serial
+engine, private queue/report/run-cache state):
+
+* **cold-sweep** — end-to-end latency of a fresh design-space sweep job
+  (submit → execute → report), every run simulated.  This is dominated
+  by simulation time; the interesting number is the *overhead* over
+  running the identical sweep in-process, which the record reports as
+  ``service_overhead_seconds``.
+* **warm-sweep** — the same runs submitted under a new job identity
+  (benchmark order reversed, so the report differs but the runs are the
+  same set): every run resolves from the shared disk cache.  This is
+  the steady-state cost of a sweep the cluster has already computed.
+* **coalesced** — request throughput for duplicate submissions of a
+  finished job (fingerprint match → HTTP round trip plus one SQLite
+  lookup, no simulation).  Reported as requests/second.
+
+Run standalone to (re)write ``BENCH_service.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+or through pytest-benchmark like the other benches.  The record embeds
+the environment block so numbers stay comparable across machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.service.app import ServiceConfig, ServiceThread
+from repro.service.client import ServiceClient
+from repro.service.jobs import execute_job
+from repro.service.protocol import parse_job_request
+from repro.sim import runner
+
+#: The bench sweep: 2 benchmarks x (point + baseline) = 4 runs.
+BENCHMARKS = ["gcc", "swim"]
+INSTRUCTIONS = 20_000
+
+#: Duplicate submissions timed for the coalesced-throughput figure.
+COALESCED_REQUESTS = 50
+
+#: Floor asserted by the pytest bench: coalesced duplicates must stay
+#: cheap (no simulation, no report regeneration on the submit path).
+COALESCED_RPS_FLOOR = 20.0
+
+
+def _request(benchmarks) -> dict:
+    return {
+        "kind": "sweep",
+        "benchmarks": list(benchmarks),
+        "instructions": INSTRUCTIONS,
+    }
+
+
+class _Isolated:
+    """Embedded service over private queue/report/run-cache state."""
+
+    def __init__(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="repro-bench-service-")
+        root = Path(self._tmp.name)
+        self._previous_cache = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = str(root / "cache")
+        runner.clear_caches()
+        self.handle = ServiceThread(ServiceConfig(
+            port=0,
+            db_path=root / "jobs.sqlite",
+            reports_dir=root / "reports",
+            rate=0.0,  # unlimited: the bench hammers the submit path
+        )).start()
+        self.client = ServiceClient(port=self.handle.port)
+
+    def close(self):
+        self.handle.stop()
+        if self._previous_cache is None:
+            del os.environ["REPRO_CACHE_DIR"]
+        else:
+            os.environ["REPRO_CACHE_DIR"] = self._previous_cache
+        runner.clear_caches()
+        self._tmp.cleanup()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def _submit_and_wait_seconds(client, request) -> float:
+    started = time.perf_counter()
+    client.submit_and_wait(request, timeout=600)
+    return time.perf_counter() - started
+
+
+def _coalesced_rps(client, request, count: int = COALESCED_REQUESTS) -> float:
+    started = time.perf_counter()
+    for _ in range(count):
+        response = client.submit(request)
+        assert response["coalesced"]
+    return count / (time.perf_counter() - started)
+
+
+def measure() -> dict:
+    """Time the three service paths; return the full record."""
+    with _Isolated() as service:
+        cold_seconds = _submit_and_wait_seconds(service.client, _request(BENCHMARKS))
+        warm_seconds = _submit_and_wait_seconds(
+            service.client, _request(reversed(BENCHMARKS))
+        )
+        coalesced_rps = _coalesced_rps(service.client, _request(BENCHMARKS))
+        warm_job = service.client.jobs()["jobs"][0]
+
+        # The same work in-process (cache dropped): what the service
+        # path costs over a direct engine call.
+        runner.clear_caches(disk=True)
+        spec = parse_job_request(_request(BENCHMARKS))
+        started = time.perf_counter()
+        outcome = execute_job(spec)
+        inprocess_seconds = time.perf_counter() - started
+
+    return {
+        "benches": {
+            "cold-sweep": {
+                "seconds": round(cold_seconds, 4),
+                "runs": outcome.runs_done,
+                "inprocess_seconds": round(inprocess_seconds, 4),
+                "service_overhead_seconds": round(
+                    cold_seconds - inprocess_seconds, 4
+                ),
+            },
+            "warm-sweep": {
+                "seconds": round(warm_seconds, 4),
+                "cache_hits": warm_job["cache_hits"],
+                "speedup_over_cold": round(cold_seconds / warm_seconds, 2),
+            },
+            "coalesced": {
+                "requests": COALESCED_REQUESTS,
+                "requests_per_second": round(coalesced_rps, 1),
+            },
+        },
+        "workload": {
+            "benchmarks": BENCHMARKS,
+            "instructions": INSTRUCTIONS,
+            "runs": outcome.runs_done,
+        },
+        "environment": _environment(),
+    }
+
+
+def _environment() -> dict:
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+    }
+
+
+def test_warm_sweep_resolves_from_cache(benchmark):
+    """A new job over already-computed runs is pure cache resolution."""
+    with _Isolated() as service:
+        service.client.submit_and_wait(_request(BENCHMARKS), timeout=600)
+        run_once(
+            benchmark,
+            _submit_and_wait_seconds,
+            service.client,
+            _request(reversed(BENCHMARKS)),
+        )
+        warm_job = service.client.jobs()["jobs"][0]
+        assert warm_job["cache_hits"] == warm_job["runs_done"]
+
+
+def test_coalesced_submission_throughput(benchmark):
+    """Duplicate submissions stay cheap: fingerprint lookup, no work."""
+    with _Isolated() as service:
+        service.client.submit_and_wait(_request(BENCHMARKS), timeout=600)
+        rps = run_once(benchmark, _coalesced_rps, service.client,
+                       _request(BENCHMARKS))
+        print(f"\ncoalesced submissions: {rps:.0f} req/s")
+        assert rps >= COALESCED_RPS_FLOOR
+
+
+def main() -> int:
+    record = measure()
+    out = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {out}")
+    ok = record["benches"]["coalesced"]["requests_per_second"] >= COALESCED_RPS_FLOOR
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,17 @@ Custom policies plug in through the registry re-exported here::
         ...
 
     Machine.from_config(dcache_policy="mine").run("gcc", instructions=10_000)
+
+For remote execution, the sweep-service client is re-exported here:
+:class:`ServiceClient` / :func:`submit_and_wait` talk to a running
+``repro-experiment serve`` instance and return report texts
+byte-identical to the CLI's ``--json`` output::
+
+    from repro.api import submit_and_wait
+
+    report = submit_and_wait(
+        {"kind": "experiment", "experiments": ["table4"]}, port=8765
+    )
 """
 
 from __future__ import annotations
@@ -53,6 +64,7 @@ from repro.core.registry import (
 from repro.core.spec import PolicySpec
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
+from repro.service.client import ServiceClient, ServiceError, submit_and_wait
 from repro.sim.runner import run_benchmark
 from repro.sim.simulator import Simulator
 from repro.workload.formats import (
@@ -69,6 +81,8 @@ __all__ = [
     "Machine",
     "PolicyInfo",
     "PolicySpec",
+    "ServiceClient",
+    "ServiceError",
     "SimResult",
     "SystemConfig",
     "iter_policies",
@@ -77,6 +91,7 @@ __all__ = [
     "policy_kinds",
     "register_policy",
     "register_trace_format",
+    "submit_and_wait",
     "trace_format_names",
     "unregister_policy",
     "unregister_trace_format",

@@ -1,6 +1,6 @@
 """Command-line entry point: ``repro-experiment``.
 
-Four modes:
+Five modes:
 
 * ``repro-experiment [IDS...] [--jobs N] [--json]`` — regenerate the
   paper's tables/figures, fanning each experiment's run grid over N
@@ -18,6 +18,10 @@ Four modes:
   work with externally captured trace files: list the ingest formats,
   summarize a file, convert between formats, run one file through the
   simulator, or render a Table-4-style report over a directory.
+* ``repro-experiment serve [--port N ...]`` — run the sweep service: an
+  HTTP/JSON job API with a crash-safe SQLite queue, per-tenant rate
+  limits, streaming progress, and reports byte-identical to this CLI's
+  ``--json`` output for the same work.
 """
 
 from __future__ import annotations
@@ -40,7 +44,8 @@ from repro.experiments.registry import (
 )
 from repro.sim.config import SystemConfig
 from repro.sweep.analyze import (
-    DesignPoint,
+    design_space_document,
+    design_space_points,
     design_space_spec,
     render_summaries,
     summarize,
@@ -75,6 +80,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return policies_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
@@ -454,6 +461,71 @@ def _trace_report(args) -> int:
     return 0
 
 
+def serve_main(argv: List[str]) -> int:
+    """The ``serve`` subcommand: run the sweep service in the foreground."""
+    import asyncio
+    from pathlib import Path
+
+    from repro.service.app import ServiceConfig, serve
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment serve",
+        description=(
+            "Run the sweep service: an HTTP/JSON job API over the sweep "
+            "engine, with a crash-safe SQLite queue (restart resumes "
+            "interrupted jobs from the shared result cache), idempotent "
+            "submission by content fingerprint, per-tenant rate limits, "
+            "and streaming NDJSON progress."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="listen address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8765, metavar="N",
+                        help="listen port; 0 picks an ephemeral port (default: 8765)")
+    parser.add_argument("--db", default=".repro_service/jobs.sqlite", metavar="PATH",
+                        help="SQLite job journal (default: .repro_service/jobs.sqlite)")
+    parser.add_argument("--reports-dir", default=".repro_service/reports",
+                        metavar="DIR",
+                        help="sharded report store root (default: .repro_service/reports)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="engine worker processes per executing job "
+                             "(default: $REPRO_JOBS or 1)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="concurrently executing jobs (default: 1)")
+    parser.add_argument("--rate", type=float, default=10.0, metavar="R",
+                        help="per-tenant submissions/second; <= 0 disables "
+                             "rate limiting (default: 10)")
+    parser.add_argument("--burst", type=float, default=20.0, metavar="B",
+                        help="per-tenant burst capacity (default: 20)")
+    parser.add_argument("--max-queue", type=int, default=64, metavar="N",
+                        help="open-job bound before 503 back-pressure (default: 64)")
+    args = parser.parse_args(argv)
+
+    engine_jobs = args.jobs if args.jobs is not None else default_jobs()
+    if engine_jobs < 1:
+        print(f"--jobs must be >= 1, got {engine_jobs}", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        db_path=Path(args.db),
+        reports_dir=Path(args.reports_dir),
+        engine_jobs=engine_jobs,
+        workers=args.workers,
+        rate=args.rate,
+        burst=args.burst,
+        max_queue=args.max_queue,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def sweep_main(argv: List[str]) -> int:
     """The ``sweep`` subcommand: ad-hoc d-cache design-space grids."""
     parser = argparse.ArgumentParser(
@@ -541,26 +613,10 @@ def sweep_main(argv: List[str]) -> int:
         )
         return 2
     try:
-        points = [
-            DesignPoint(
-                label=f"{size_kb}K/{ways}w/{latency}cyc {policy}",
-                technique=SystemConfig()
-                .with_dcache(size_kb=size_kb, associativity=ways, latency=latency)
-                .with_dcache_policy(policy),
-                baseline=SystemConfig()
-                .with_dcache(size_kb=size_kb, associativity=ways, latency=latency)
-                .with_dcache_policy(args.baseline_policy),
-            )
-            for size_kb in args.sizes
-            for ways in args.ways
-            for latency in args.latencies
-            for policy in args.policies
-        ]
-        # Geometry constraints (power-of-two shapes, block fit) surface
-        # only when a cache is built; validate before burning sim time.
-        for point in points:
-            point.technique.dcache.geometry()
-            point.baseline.dcache.geometry()
+        points = design_space_points(
+            args.sizes, args.ways, args.latencies, args.policies,
+            args.baseline_policy,
+        )
     except ValueError as error:  # unknown policy kind, bad shape
         print(error, file=sys.stderr)
         return 2
@@ -584,31 +640,18 @@ def sweep_main(argv: List[str]) -> int:
     except (ValueError, KeyError) as error:  # bad instructions, engine errors
         print(error, file=sys.stderr)
         return 2
-    summaries = summarize(
-        sweep, points, benchmarks, args.instructions, args.component, args.salt,
-        backend=backend,
-    )
 
     if args.json:
-        document = {
-            "sweep": spec.name,
-            "component": args.component,
-            "benchmarks": list(benchmarks),
-            "instructions": args.instructions,
-            "salt": args.salt,
-            "backend": backend,
-            "points": [
-                {
-                    "label": summary.label,
-                    "relative_energy_delay": summary.relative_energy_delay,
-                    "performance_degradation": summary.performance_degradation,
-                    "per_benchmark": summary.per_benchmark,
-                }
-                for summary in summaries
-            ],
-        }
+        document = design_space_document(
+            sweep, points, benchmarks, args.instructions, args.component,
+            args.salt, backend=backend,
+        )
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
+        summaries = summarize(
+            sweep, points, benchmarks, args.instructions, args.component,
+            args.salt, backend=backend,
+        )
         title = (
             f"Design-space sweep over {', '.join(benchmarks)} "
             f"({args.component} E-D vs {args.baseline_policy} baseline)"

@@ -1,0 +1,56 @@
+"""The sweep service: a stdlib-only HTTP/JSON job tier over the engine.
+
+Layers (bottom-up):
+
+* :mod:`repro.service.protocol` — request parsing + content
+  fingerprints (idempotent submission keys).
+* :mod:`repro.service.jobs` — job execution through the sweep engine;
+  reports are byte-identical to the CLI's output.
+* :mod:`repro.service.queue` — the crash-safe SQLite job journal.
+* :mod:`repro.service.store` — sharded report store + run-cache stats.
+* :mod:`repro.service.limits` — per-tenant token-bucket admission.
+* :mod:`repro.service.app` — the asyncio HTTP server and worker tier.
+* :mod:`repro.service.client` — the blocking ``http.client`` client.
+
+Start a shard with ``repro-experiment serve`` (or
+:class:`~repro.service.app.ServiceThread` to embed one), talk to it
+with :class:`~repro.service.client.ServiceClient`.
+"""
+
+from repro.service.app import ServiceConfig, ServiceThread, SweepService, serve
+from repro.service.client import ServiceClient, ServiceError, submit_and_wait
+from repro.service.jobs import JobOutcome, RunProgress, execute_job
+from repro.service.protocol import (
+    ExperimentJobSpec,
+    ProtocolError,
+    SweepJobSpec,
+    canonical_payload,
+    fingerprint,
+    parse_job_request,
+)
+from repro.service.queue import JobQueue, JobRecord
+from repro.service.store import ReportStore, cache_stats, shard_counts
+
+__all__ = [
+    "ExperimentJobSpec",
+    "JobOutcome",
+    "JobQueue",
+    "JobRecord",
+    "ProtocolError",
+    "ReportStore",
+    "RunProgress",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "SweepJobSpec",
+    "SweepService",
+    "cache_stats",
+    "canonical_payload",
+    "execute_job",
+    "fingerprint",
+    "parse_job_request",
+    "serve",
+    "shard_counts",
+    "submit_and_wait",
+]

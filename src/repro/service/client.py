@@ -1,0 +1,246 @@
+"""Blocking HTTP client for the sweep service (stdlib ``http.client``).
+
+The client mirrors the server's endpoints one method each, plus the
+high-level :meth:`ServiceClient.submit_and_wait` which submits a job,
+follows its event stream to completion, and returns the report text —
+byte-identical to what the CLI prints for the same work.
+
+The event stream survives server restarts: :meth:`ServiceClient.wait`
+reconnects when the stream breaks and keys off the job's persisted
+state, so a client blocked on a job that was mid-flight during a crash
+simply resumes streaming once the service recovers the queue.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["ServiceClient", "ServiceError", "submit_and_wait"]
+
+_TERMINAL = ("done", "failed")
+
+
+class ServiceError(RuntimeError):
+    """A non-success HTTP response from the service.
+
+    Attributes:
+        status: the HTTP status code (400, 429, 503, ...).
+        reason: the service's one-line error detail.
+    """
+
+    def __init__(self, status: int, reason: str) -> None:
+        super().__init__(f"HTTP {status}: {reason}")
+        self.status = status
+        self.reason = reason
+
+
+class ServiceClient:
+    """One tenant's view of a service shard."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        tenant: str = "public",
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -------------------------------------------------------------- #
+    # Raw requests
+    # -------------------------------------------------------------- #
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _request_json(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        connection = self._connect()
+        try:
+            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            headers = {"X-Repro-Tenant": self.tenant}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+            document = json.loads(text) if text else {}
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, document.get("error", response.reason)
+                )
+            return document
+        finally:
+            connection.close()
+
+    # -------------------------------------------------------------- #
+    # Endpoints
+    # -------------------------------------------------------------- #
+
+    def healthy(self) -> bool:
+        """True when ``GET /healthz`` answers OK."""
+        try:
+            return bool(self._request_json("GET", "/healthz").get("ok"))
+        except (OSError, ServiceError):
+            return False
+
+    def stats(self) -> Dict[str, Any]:
+        """The service's ``/stats`` document."""
+        return self._request_json("GET", "/stats")
+
+    def submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a job; returns ``{"job": {...}, "coalesced": bool}``.
+
+        Raises:
+            ServiceError: 400 malformed, 429 rate-limited, 503 full.
+        """
+        return self._request_json("POST", "/jobs", request)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """The job's status document."""
+        return self._request_json("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> Dict[str, Any]:
+        """Recent jobs, newest first."""
+        return self._request_json("GET", "/jobs")
+
+    def report_text(self, job_id: str) -> str:
+        """The finished report, byte-exact (409 until the job is done)."""
+        connection = self._connect()
+        try:
+            connection.request(
+                "GET", f"/jobs/{job_id}/report",
+                headers={"X-Repro-Tenant": self.tenant},
+            )
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+            if response.status >= 400:
+                try:
+                    reason = json.loads(text).get("error", response.reason)
+                except json.JSONDecodeError:
+                    reason = response.reason
+                raise ServiceError(response.status, reason)
+            return text
+        finally:
+            connection.close()
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream the job's NDJSON events until the stream closes.
+
+        Yields the ``snapshot`` event first, then live events.  The
+        iterator ends when the server closes the stream (terminal event
+        sent, or server going down); :meth:`wait` handles reconnecting.
+        """
+        connection = self._connect()
+        try:
+            connection.request(
+                "GET", f"/jobs/{job_id}/events",
+                headers={"X-Repro-Tenant": self.tenant},
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                text = response.read().decode("utf-8")
+                try:
+                    reason = json.loads(text).get("error", response.reason)
+                except json.JSONDecodeError:
+                    reason = response.reason
+                raise ServiceError(response.status, reason)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    # -------------------------------------------------------------- #
+    # High-level
+    # -------------------------------------------------------------- #
+
+    def wait(
+        self,
+        job_id: str,
+        on_event=None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Block until the job reaches ``done``/``failed``.
+
+        Follows the event stream, reconnecting if it breaks (server
+        restart); every received event is passed to ``on_event``.
+
+        Returns:
+            The job's final status document.
+
+        Raises:
+            TimeoutError: ``timeout`` seconds elapsed first.
+            ServiceError: the job disappeared (404).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} not finished after {timeout}s")
+            try:
+                for event in self.events(job_id):
+                    if on_event is not None:
+                        on_event(event)
+                    kind = event.get("event")
+                    if kind == "snapshot":
+                        if event["job"]["state"] in _TERMINAL:
+                            return event["job"]
+                    elif kind in _TERMINAL:
+                        return self.job(job_id)
+            except ServiceError:
+                raise
+            except OSError:
+                pass  # server going down mid-stream; retry below
+            # Stream ended without a terminal event: the server died or
+            # restarted.  Back off briefly, then re-attach.
+            time.sleep(0.2)
+            try:
+                job = self.job(job_id)
+            except (OSError, ServiceError):
+                continue  # still restarting
+            if job["state"] in _TERMINAL:
+                return job
+
+    def submit_and_wait(
+        self,
+        request: Dict[str, Any],
+        on_event=None,
+        timeout: Optional[float] = None,
+    ) -> str:
+        """Submit, stream to completion, and return the report text.
+
+        Raises:
+            ServiceError: submission rejected, or the job failed (the
+                job's error detail becomes the reason, status 500).
+            TimeoutError: ``timeout`` seconds elapsed first.
+        """
+        submitted = self.submit(request)
+        job_id = submitted["job"]["id"]
+        final = self.wait(job_id, on_event=on_event, timeout=timeout)
+        if final["state"] != "done":
+            raise ServiceError(500, final.get("error") or f"job {job_id} failed")
+        return self.report_text(job_id)
+
+
+def submit_and_wait(
+    request: Dict[str, Any],
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    tenant: str = "public",
+    timeout: Optional[float] = None,
+    on_event=None,
+) -> str:
+    """One-call convenience: submit ``request`` and block for the report."""
+    client = ServiceClient(host=host, port=port, tenant=tenant)
+    return client.submit_and_wait(request, on_event=on_event, timeout=timeout)

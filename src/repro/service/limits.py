@@ -1,0 +1,92 @@
+"""Per-tenant admission control: token buckets and queue-depth bounds.
+
+The service applies two independent brakes at submission time:
+
+* a per-tenant **token bucket** — ``rate`` submissions/second refill,
+  ``burst`` capacity — mapping to HTTP 429 with a ``Retry-After`` hint;
+* a global **queue-depth bound** (enforced by the app against
+  :meth:`JobQueue.depth`) mapping to HTTP 503.
+
+Buckets take an injectable monotonic clock so tests drive time
+deterministically.  A non-positive ``rate`` disables limiting — the
+single-user / benchmark configuration.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+__all__ = ["RateLimiter", "TokenBucket"]
+
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: float, clock: Clock = time.monotonic) -> None:
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self.clock = clock
+        self.tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; never blocks."""
+        if self.rate <= 0:
+            return True
+        self._refill()
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+    def wait_seconds(self, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens will be available (>= 0)."""
+        if self.rate <= 0:
+            return 0.0
+        self._refill()
+        if self.tokens >= amount:
+            return 0.0
+        return (amount - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """One token bucket per tenant, created on first sight.
+
+    Thread-safe: submissions arrive on the event loop, but tests and
+    embedding code may probe from other threads.
+    """
+
+    def __init__(self, rate: float, burst: float, clock: Clock = time.monotonic) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, self.clock)
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def allow(self, tenant: str) -> bool:
+        """Admit one submission from ``tenant`` if its bucket has a token."""
+        return self._bucket(tenant).try_acquire()
+
+    def retry_after(self, tenant: str) -> float:
+        """The ``Retry-After`` hint for a just-rejected tenant."""
+        return self._bucket(tenant).wait_seconds()

@@ -1,0 +1,114 @@
+"""Result stores: sharded report files plus the shared run cache.
+
+Two layers hold a job's results:
+
+* **per-run results** live in the schema-versioned disk cache
+  (:func:`repro.sim.runner.disk_cache_dir`), written atomically by
+  whichever worker finishes each run first.  Keys are SHA-256 hashes,
+  so the namespace partitions uniformly by prefix — that is what makes
+  the store *shardable*: N service shards can each own the key prefixes
+  that hash to them while resolving everything else read-only.
+* **reports** — the byte-exact CLI-equivalent document per job — live
+  in a :class:`ReportStore`, fanned into 256 prefix shards
+  (``<root>/<fp[:2]>/<fp>.json``) and published atomically (temp
+  sibling + ``os.replace``, the repository-wide convention), so a
+  concurrent reader can never observe a torn report.
+
+:func:`shard_counts` summarizes either namespace by prefix bucket for
+the service's ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from repro.sim import runner
+
+__all__ = ["ReportStore", "cache_stats", "shard_counts"]
+
+
+class ReportStore:
+    """Atomic, prefix-sharded storage of job report texts.
+
+    Reports are keyed by the job's full content fingerprint; the file
+    layout shards on the first two hex digits so a directory never
+    grows past 1/256th of the population (and so shards can be mapped
+    to nodes by prefix, like the run cache).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Where ``fingerprint``'s report lives (shard dir included)."""
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def put(self, fingerprint: str, text: str) -> Path:
+        """Atomically publish one report; returns its path."""
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # pid + thread id: concurrent worker tasks publish from one
+        # process, so a pid-only temp name could tear under truncation.
+        tmp = path.with_name(
+            f".tmp{os.getpid()}.{threading.get_native_id()}.{path.name}"
+        )
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+        return path
+
+    def get(self, fingerprint: str) -> Optional[str]:
+        """The stored report text, or ``None``."""
+        try:
+            return self.path_for(fingerprint).read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    def fingerprints(self) -> Iterable[str]:
+        """Every stored report's fingerprint."""
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path.stem
+
+    def shard_counts(self) -> Dict[str, int]:
+        """Reports per populated prefix shard (directory name -> count)."""
+        return {
+            shard.name: sum(1 for _ in shard.glob("*.json"))
+            for shard in sorted(self.root.iterdir())
+            if shard.is_dir()
+        }
+
+
+def shard_counts(keys: Iterable[str], buckets: int = 16) -> Dict[str, int]:
+    """Population per hex-prefix bucket for a set of hash keys.
+
+    ``buckets`` must be 16 or 256 (one or two leading hex digits) —
+    the partition granularities a prefix-sharded deployment would use.
+    """
+    if buckets not in (16, 256):
+        raise ValueError(f"buckets must be 16 or 256, got {buckets}")
+    width = 1 if buckets == 16 else 2
+    counts: Dict[str, int] = {}
+    for key in keys:
+        prefix = key[:width]
+        counts[prefix] = counts.get(prefix, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def cache_stats(buckets: int = 16) -> Dict[str, object]:
+    """Shard summary of the shared per-run result cache.
+
+    Returns ``{"entries": N, "shards": {prefix: count}}``; both are
+    zero/empty when the disk cache is disabled.
+    """
+    directory = runner.disk_cache_dir()
+    if directory is None:
+        return {"entries": 0, "shards": {}}
+    keys = [path.stem for path in directory.glob("*.json")]
+    return {"entries": len(keys), "shards": shard_counts(keys, buckets)}

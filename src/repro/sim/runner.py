@@ -53,6 +53,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
@@ -71,6 +72,7 @@ __all__ = [
     "RUN_MODES",
     "cache_key",
     "clear_caches",
+    "disk_cache_dir",
     "execute",
     "get_trace",
     "load_cached",
@@ -101,7 +103,15 @@ _RESULT_FIELDS = SimResult.flat_field_names()
 SCHEMA_VERSION = hashlib.sha256(",".join(_RESULT_FIELDS).encode("utf-8")).hexdigest()[:12]
 
 
-def _disk_cache_dir() -> Optional[Path]:
+def disk_cache_dir() -> Optional[Path]:
+    """The on-disk result-cache directory, or ``None`` when disabled.
+
+    Honors ``REPRO_DISK_CACHE=0`` (disable) and ``REPRO_CACHE_DIR``
+    (location; default ``.repro_cache``).  This directory is the shared
+    result store of the sweep service: every worker/shard publishes
+    per-run results here under schema-versioned keys, so overlapping
+    jobs resolve each other's completed work.
+    """
     if os.environ.get("REPRO_DISK_CACHE", "1") == "0":
         return None
     root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
@@ -111,6 +121,9 @@ def _disk_cache_dir() -> Optional[Path]:
     except OSError:
         return None
     return path
+
+
+_disk_cache_dir = disk_cache_dir  # internal alias (pre-service name)
 
 
 def workload_id(benchmark: str) -> str:
@@ -183,11 +196,26 @@ def _store_disk(key: str, result: SimResult) -> None:
     if directory is None:
         return
     path = directory / f"{key}.json"
+    # Atomic publish (temp sibling + rename, the trace writers'
+    # convention): concurrent workers and service shards share this
+    # directory, so a reader must never observe a torn entry.  Both
+    # backends write byte-identical results for one key, so concurrent
+    # writers racing on the final rename are harmless.  The temp name
+    # carries the thread id too: service worker threads publish from
+    # one process, and a shared temp file would tear under truncation.
+    tmp = path.with_name(
+        f".tmp{os.getpid()}.{threading.get_native_id()}.{path.name}"
+    )
     try:
-        with open(path, "w", encoding="utf-8") as handle:
+        with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(result.to_flat(), handle)
+        os.replace(tmp, path)
     except OSError:
-        pass  # caching is best-effort
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        # caching is best-effort
 
 
 def get_trace(benchmark: str, instructions: int, salt: int = 0) -> Trace:

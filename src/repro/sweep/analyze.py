@@ -47,6 +47,83 @@ class PointSummary:
     per_benchmark: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
+def design_space_points(
+    sizes: Sequence[int],
+    ways: Sequence[int],
+    latencies: Sequence[int],
+    policies: Sequence[str],
+    baseline_policy: str = "parallel",
+) -> List[DesignPoint]:
+    """Expand the (size, ways, latency, policy) grid into design points.
+
+    This is the one grid builder behind both the ``sweep`` CLI
+    subcommand and the service's ``"sweep"`` job kind, so a sweep
+    submitted over HTTP names exactly the points the CLI would.
+    Geometry constraints (power-of-two shapes, block fit) are validated
+    here, before any simulation time is spent.
+
+    Raises:
+        ValueError: an unknown policy kind or an invalid cache shape.
+    """
+    points = [
+        DesignPoint(
+            label=f"{size_kb}K/{ways_}w/{latency}cyc {policy}",
+            technique=SystemConfig()
+            .with_dcache(size_kb=size_kb, associativity=ways_, latency=latency)
+            .with_dcache_policy(policy),
+            baseline=SystemConfig()
+            .with_dcache(size_kb=size_kb, associativity=ways_, latency=latency)
+            .with_dcache_policy(baseline_policy),
+        )
+        for size_kb in sizes
+        for ways_ in ways
+        for latency in latencies
+        for policy in policies
+    ]
+    for point in points:
+        point.technique.dcache.geometry()
+        point.baseline.dcache.geometry()
+    return points
+
+
+def design_space_document(
+    sweep: SweepResult,
+    points: Sequence[DesignPoint],
+    benchmarks: Sequence[str],
+    instructions: int,
+    component: str = "dcache",
+    salt: int = 0,
+    backend: str = "reference",
+) -> Dict[str, object]:
+    """The deterministic JSON document for an executed design-space sweep.
+
+    Serialized with ``json.dumps(document, indent=2, sort_keys=True)``
+    this is byte-identical however the sweep ran — CLI or service,
+    serial or pooled, cold or cache-warm — because it contains only
+    spec-keyed results, never execution accounting.
+    """
+    summaries = summarize(
+        sweep, points, benchmarks, instructions, component, salt, backend=backend
+    )
+    return {
+        "sweep": sweep.spec.name,
+        "component": component,
+        "benchmarks": list(benchmarks),
+        "instructions": instructions,
+        "salt": salt,
+        "backend": backend,
+        "points": [
+            {
+                "label": summary.label,
+                "relative_energy_delay": summary.relative_energy_delay,
+                "performance_degradation": summary.performance_degradation,
+                "per_benchmark": summary.per_benchmark,
+            }
+            for summary in summaries
+        ],
+    }
+
+
 def design_space_spec(
     points: Sequence[DesignPoint],
     benchmarks: Sequence[str],

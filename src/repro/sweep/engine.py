@@ -53,6 +53,27 @@ def default_jobs() -> int:
         return 1
 
 
+#: Per-completed-run callback: ``(done, total, spec, cache_hit)``.
+#: ``done`` counts every resolved run — cache hits and executions alike —
+#: monotonically up to ``total`` (the spec's unique run count), so a
+#: subscriber can render "done/total" without knowing the cache state.
+ProgressCallback = Callable[[int, int, RunSpec, bool], None]
+
+
+class _ProgressReporter:
+    """Monotonic done-counter shared by the hit/serial/pool paths."""
+
+    def __init__(self, callback: Optional[ProgressCallback], total: int) -> None:
+        self.callback = callback
+        self.total = total
+        self.done = 0
+
+    def __call__(self, run: RunSpec, cache_hit: bool) -> None:
+        self.done += 1
+        if self.callback is not None:
+            self.callback(self.done, self.total, run, cache_hit)
+
+
 class SweepEngine:
     """Executes :class:`~repro.sweep.spec.SweepSpec` grids.
 
@@ -60,17 +81,20 @@ class SweepEngine:
         jobs: worker processes; 1 means deterministic in-process serial
             execution (no pool is ever created).
         use_cache: resolve against and publish to the runner caches.
-        progress: optional callback ``(done, total, spec)`` invoked as
-            each executed run's result lands, for live counters; the
-            count keeps rising monotonically to ``total`` even if the
-            pool fails over to serial execution mid-sweep.
+        progress: optional default :data:`ProgressCallback`
+            ``(done, total, spec, cache_hit)`` invoked as each run of a
+            sweep completes — cache hits during resolution as well as
+            executed runs as their results land.  The count rises
+            monotonically to ``total`` even if the pool fails over to
+            serial execution mid-sweep.  A callback passed to
+            :meth:`run` overrides this default for that call.
     """
 
     def __init__(
         self,
         jobs: int = 1,
         use_cache: bool = True,
-        progress: Optional[Callable[[int, int, RunSpec], None]] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -80,10 +104,22 @@ class SweepEngine:
 
     # -------------------------------------------------------------- #
 
-    def run(self, spec: SweepSpec) -> SweepResult:
-        """Resolve and execute every run in ``spec``."""
+    def run(
+        self, spec: SweepSpec, progress: Optional[ProgressCallback] = None
+    ) -> SweepResult:
+        """Resolve and execute every run in ``spec``.
+
+        Args:
+            spec: the grid to resolve and execute.
+            progress: per-call :data:`ProgressCallback` overriding the
+                engine default (the sweep service streams per-run
+                events through this hook).
+        """
         started = time.perf_counter()
         unique: List[RunSpec] = list(spec.runs)  # SweepSpec already de-duplicates
+        report = _ProgressReporter(
+            progress if progress is not None else self.progress, len(unique)
+        )
         result = SweepResult(spec=spec)
         pending: List[RunSpec] = []
         for run in unique:
@@ -97,10 +133,11 @@ class SweepEngine:
             )
             if cached is not None:
                 result.results[run] = cached
+                report(run, True)
             else:
                 pending.append(run)
 
-        for run, sim_result in self._execute(pending):
+        for run, sim_result in self._execute(pending, report):
             result.results[run] = sim_result
 
         result.stats = SweepStats(
@@ -127,34 +164,34 @@ class SweepEngine:
                 run.salt, run.mode, run.backend,
             )
 
-    def _execute(self, pending: List[RunSpec]) -> List[Tuple[RunSpec, SimResult]]:
+    def _execute(
+        self, pending: List[RunSpec], report: _ProgressReporter
+    ) -> List[Tuple[RunSpec, SimResult]]:
         if not pending:
             return []
-        total = len(pending)
         done: List[Tuple[RunSpec, SimResult]] = []
         if self.jobs > 1 and len(pending) > 1:
-            pool_done, pending = self._execute_pool(pending, total)
+            pool_done, pending = self._execute_pool(pending, report)
             done.extend(pool_done)
-        done.extend(self._execute_serial(pending, total, offset=len(done)))
+        done.extend(self._execute_serial(pending, report))
         return done
 
     def _execute_serial(
-        self, pending: List[RunSpec], total: int, offset: int = 0
+        self, pending: List[RunSpec], report: _ProgressReporter
     ) -> List[Tuple[RunSpec, SimResult]]:
         out: List[Tuple[RunSpec, SimResult]] = []
-        for index, run in enumerate(pending):
+        for run in pending:
             sim_result = _execute_payload(
                 (run.benchmark, run.config, run.instructions, run.salt, run.mode,
                  run.backend)
             )
             self._store(run, sim_result)
             out.append((run, sim_result))
-            if self.progress is not None:
-                self.progress(offset + index + 1, total, run)
+            report(run, False)
         return out
 
     def _execute_pool(
-        self, pending: List[RunSpec], total: int
+        self, pending: List[RunSpec], report: _ProgressReporter
     ) -> Tuple[List[Tuple[RunSpec, SimResult]], List[RunSpec]]:
         """Fan out over a process pool.
 
@@ -196,8 +233,7 @@ class SweepEngine:
                 for index, sim_result in enumerate(results):
                     self._store(ordered[index], sim_result)
                     out.append((ordered[index], sim_result))
-                    if self.progress is not None:
-                        self.progress(index + 1, total, ordered[index])
+                    report(ordered[index], False)
                 return out, []
         except (OSError, BrokenProcessPool, PicklingError, ImportError):
             # Pool infrastructure failed (e.g. fork unavailable in a

@@ -151,10 +151,41 @@ class TestEngineAccounting:
         seen = []
         engine = SweepEngine(
             jobs=1, use_cache=False,
-            progress=lambda done, total, run: seen.append((done, total)),
+            progress=lambda done, total, run, hit: seen.append((done, total, hit)),
         )
         engine.run(small_spec())
+        assert seen == [(i + 1, 4, False) for i in range(4)]
+
+    def test_progress_callback_flags_cache_hits(self, isolated_cache):
+        engine = SweepEngine(jobs=1)
+        engine.run(small_spec())
+        seen = []
+        engine.run(
+            small_spec(),
+            progress=lambda done, total, run, hit: seen.append((done, hit)),
+        )
+        assert seen == [(i + 1, True) for i in range(4)]
+
+    def test_progress_callback_pool_path(self, no_cache):
+        seen = []
+        SweepEngine(jobs=2, use_cache=False).run(
+            small_spec(),
+            progress=lambda done, total, run, hit: seen.append((done, total)),
+        )
         assert seen == [(i + 1, 4) for i in range(4)]
+
+    def test_run_progress_overrides_engine_default(self, no_cache):
+        default_seen, override_seen = [], []
+        engine = SweepEngine(
+            jobs=1, use_cache=False,
+            progress=lambda *event: default_seen.append(event),
+        )
+        engine.run(
+            small_spec(),
+            progress=lambda *event: override_seen.append(event),
+        )
+        assert not default_seen
+        assert len(override_seen) == 4
 
     def test_stats_describe(self):
         stats = SweepStats(unique=4, cache_hits=1, executed=3, jobs=2)
