@@ -1,0 +1,206 @@
+"""Chunked-replay bench: serial vs chunk-parallel miss-rate runs.
+
+One large synthetic trace (a ``gcc`` profile stream, big enough that a
+serial replay takes a measurable fraction of a second) is replayed
+through the miss-rate kernels serially and then chunk-parallel with a
+process pool, for both the python ``fast`` tier (pinned via
+``REPRO_NO_VECTOR``) and the numpy ``vector`` tier when available.
+
+Two things are recorded per tier:
+
+* **equality** — the chunked run's flat record must be byte-identical
+  to the serial one (full-prefix warmup overlap is exact by
+  construction; the bench re-checks it at benchmark scale), and the
+  attached error-bound report must agree;
+* **timing** — serial seconds vs chunked seconds at ``jobs`` worker
+  processes.  Fork start-up and per-chunk prefix replay are real
+  costs, so the bench asserts an *overhead bound* rather than a
+  speedup floor: chunked wall-clock must stay within
+  ``OVERHEAD_CEILING``x of serial plus a flat pool-start-up allowance,
+  even on a single-core container.  The recorded ``speedup`` is the
+  interesting number on real multi-core machines.
+
+Run standalone to (re)write ``BENCH_chunked.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_chunked.py
+
+or through pytest-benchmark like the other benches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from contextlib import nullcontext
+from pathlib import Path
+
+import pytest
+from conftest import run_once
+
+from repro.fastsim.vector import NO_VECTOR_ENV, vector_enabled
+from repro.sim import runner
+from repro.sim.config import SystemConfig
+
+#: Chunked wall-clock may not exceed this multiple of serial wall-clock
+#: plus the flat pool allowance (full-prefix warmup replay is at worst
+#: a constant factor; pool start-up is a fixed cost, so it gets an
+#: absolute budget rather than a multiple of a possibly-tiny serial
+#: time on single-core containers).
+OVERHEAD_CEILING = 3.0
+POOL_STARTUP_ALLOWANCE = 0.75  # seconds
+
+#: Benchmark workload: one long profile stream in miss-rate mode.
+BENCHMARK = "gcc"
+INSTRUCTIONS = 400_000
+
+_DERIVED_ATTRS = ("_fastsim_encoded", "_functional_mem_ops")
+
+
+def _jobs() -> int:
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+def _pin_python(pin: bool):
+    if not pin:
+        return nullcontext()
+
+    class _Pin:
+        def __enter__(self):
+            self._previous = os.environ.get(NO_VECTOR_ENV)
+            os.environ[NO_VECTOR_ENV] = "1"
+
+        def __exit__(self, *exc):
+            if self._previous is None:
+                del os.environ[NO_VECTOR_ENV]
+            else:
+                os.environ[NO_VECTOR_ENV] = self._previous
+
+    return _Pin()
+
+
+def _clear_derived() -> None:
+    trace = runner.get_trace(BENCHMARK, INSTRUCTIONS)
+    for attr in _DERIVED_ATTRS:
+        try:
+            delattr(trace, attr)
+        except AttributeError:
+            pass
+
+
+def _run(backend: str, chunks: int = 0, chunk_jobs: int = 1):
+    config = SystemConfig()
+    started = time.perf_counter()
+    result = runner.execute(
+        BENCHMARK, config, INSTRUCTIONS, mode="missrate", backend=backend,
+        chunks=chunks, chunk_jobs=chunk_jobs,
+    )
+    return result, time.perf_counter() - started
+
+
+def _best_of(backend: str, chunks: int = 0, chunk_jobs: int = 1,
+             passes: int = 2) -> float:
+    """Minimum of ``passes`` warm timings: the scheduler-noise floor."""
+    return min(
+        _run(backend, chunks, chunk_jobs)[1] for _ in range(passes)
+    )
+
+
+def _measure_tier(label: str, backend: str, pin_python: bool) -> dict:
+    jobs = _jobs()
+    chunks = jobs
+    with _pin_python(pin_python):
+        _clear_derived()
+        serial_result, _ = _run(backend)  # warm the trace memos
+        serial_seconds = _best_of(backend)
+        chunked_result, _ = _run(backend, chunks=chunks, chunk_jobs=jobs)
+        chunked_seconds = _best_of(backend, chunks=chunks, chunk_jobs=jobs)
+    identical = chunked_result.to_flat() == serial_result.to_flat()
+    report = getattr(chunked_result, runner.CHUNK_REPORT_ATTR, None)
+    return {
+        "tier": label,
+        "chunks": chunks,
+        "jobs": jobs,
+        "serial_seconds": round(serial_seconds, 4),
+        "chunked_seconds": round(chunked_seconds, 4),
+        "speedup": round(serial_seconds / chunked_seconds, 2),
+        "byte_identical": identical,
+        "report_exact": bool(report and report.get("exact")),
+        "abs_miss_rate_error": (
+            report["sample"]["abs_miss_rate_error"] if report else None
+        ),
+    }
+
+
+def _environment() -> dict:
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+    }
+
+
+def measure() -> dict:
+    tiers = [_measure_tier("fast", "fast", pin_python=True)]
+    if vector_enabled():
+        tiers.append(_measure_tier("vector", "vector", pin_python=False))
+    return {
+        "bench": "chunked-missrate",
+        "workload": {
+            "benchmark": BENCHMARK,
+            "instructions": INSTRUCTIONS,
+            "mode": "missrate",
+        },
+        "tiers": tiers,
+        "environment": _environment(),
+    }
+
+
+def _check(entry: dict) -> bool:
+    return (
+        entry["byte_identical"]
+        and entry["report_exact"]
+        and entry["chunked_seconds"]
+        <= entry["serial_seconds"] * OVERHEAD_CEILING + POOL_STARTUP_ALLOWANCE
+    )
+
+
+def test_chunked_fast_tier_identical_and_bounded(benchmark):
+    """Chunked fast-tier replay: byte-identical, overhead-bounded."""
+    entry = run_once(benchmark, lambda: _measure_tier("fast", "fast", True))
+    print(f"\nchunked fast: serial {entry['serial_seconds']:.3f}s "
+          f"chunked {entry['chunked_seconds']:.3f}s "
+          f"speedup {entry['speedup']:.2f}x")
+    assert _check(entry)
+
+
+def test_chunked_vector_tier_identical_and_bounded(benchmark):
+    if not vector_enabled():
+        pytest.skip("numpy unavailable (or vector tier opted out)")
+    entry = run_once(benchmark, lambda: _measure_tier("vector", "vector", False))
+    print(f"\nchunked vector: serial {entry['serial_seconds']:.3f}s "
+          f"chunked {entry['chunked_seconds']:.3f}s "
+          f"speedup {entry['speedup']:.2f}x")
+    assert _check(entry)
+
+
+def main() -> int:
+    record = measure()
+    out = Path(__file__).resolve().parent.parent / "BENCH_chunked.json"
+    out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {out}")
+    return 0 if all(_check(entry) for entry in record["tiers"]) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

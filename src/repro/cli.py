@@ -36,7 +36,12 @@ from typing import List, Optional
 
 from repro.core.registry import SIDES, iter_policies
 from repro.experiments.common import settings_from_env
-from repro.sim.runner import BACKENDS, RUN_MODES, run_benchmark
+from repro.sim.runner import (
+    BACKENDS,
+    CHUNK_REPORT_ATTR,
+    RUN_MODES,
+    run_benchmark,
+)
 from repro.experiments.registry import (
     experiment_json,
     get_experiment,
@@ -298,6 +303,24 @@ def trace_main(argv: List[str]) -> int:
                             help="bypass the result caches")
     run_parser.add_argument("--json", action="store_true",
                             help="emit the full flat result record as JSON")
+    run_parser.add_argument(
+        "--chunks", type=int, default=0, metavar="N",
+        help=(
+            "chunk-parallel miss-rate replay: split the stream into N "
+            "owned regions (0 = serial; requires --mode missrate)"
+        ),
+    )
+    run_parser.add_argument(
+        "--chunk-overlap", type=int, default=None, metavar="N",
+        help=(
+            "warmup positions replayed before each owned region "
+            "(default: the full prefix, exact for any policy)"
+        ),
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for chunk fan-out within this run (default: 1)",
+    )
 
     report_parser = commands.add_parser(
         "report",
@@ -311,6 +334,16 @@ def trace_main(argv: List[str]) -> int:
                                help="worker processes (default: $REPRO_JOBS or 1)")
     report_parser.add_argument("--json", action="store_true",
                                help="emit the report rows as JSON")
+    report_parser.add_argument(
+        "--chunks", type=int, default=0, metavar="N",
+        help="chunk-parallel replay per run (0 = serial)")
+    report_parser.add_argument(
+        "--chunk-overlap", type=int, default=None, metavar="N",
+        help=(
+            "warmup positions replayed before each owned region "
+            "(default: the full prefix, exact for any policy)"
+        ),
+    )
 
     args = parser.parse_args(argv)
     handlers = {
@@ -408,6 +441,31 @@ def _trace_convert(args) -> int:
     return 0
 
 
+def _print_chunk_report(result) -> None:
+    """Render a chunked run's error-bound report to stderr.
+
+    Stderr keeps ``--json`` stdout byte-identical between chunked and
+    serial runs (the acceptance contract CI diffs), while the accuracy
+    report is still always visible.
+    """
+    report = getattr(result, CHUNK_REPORT_ATTR, None)
+    if report is None:
+        return
+    overlap = report.get("overlap")
+    sample = report.get("sample", {})
+    print(
+        f"[chunked: {report.get('chunks')} chunk(s), overlap={overlap}, "
+        f"warmup={report.get('warmup')}; sampled prefix "
+        f"({sample.get('chunks_compared')} chunk(s), "
+        f"{sample.get('accesses')} accesses): "
+        f"misses {sample.get('misses_chunked')} chunked vs "
+        f"{sample.get('misses_serial')} serial, "
+        f"|miss-rate error| = {sample.get('abs_miss_rate_error'):.6f}"
+        f"{' (exact)' if report.get('exact') else ''}]",
+        file=sys.stderr,
+    )
+
+
 def _trace_run(args) -> int:
     backend = _resolve_backend(args.backend)
     if args.instructions < 0:
@@ -419,11 +477,15 @@ def _trace_run(args) -> int:
         config = config.with_dcache_policy(args.dcache_policy)
     if args.icache_policy is not None:
         config = config.with_icache_policy(args.icache_policy)
+    if args.jobs < 1:
+        raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
     ref = make_trace_ref(args.file, args.fmt)
     result = run_benchmark(
         ref, config, args.instructions, mode=args.mode, backend=backend,
-        use_cache=not args.no_cache,
+        use_cache=not args.no_cache, chunks=args.chunks,
+        chunk_overlap=args.chunk_overlap, chunk_jobs=args.jobs,
     )
+    _print_chunk_report(result)
     if args.json:
         print(json.dumps(result.to_flat(), indent=2, sort_keys=True))
         return 0
@@ -454,10 +516,16 @@ def _trace_report(args) -> int:
     jobs = args.jobs if args.jobs is not None else default_jobs()
     engine = SweepEngine(jobs=jobs)
     if args.json:
-        rows = external.external_rows(args.directory, settings, engine)
+        rows = external.external_rows(
+            args.directory, settings, engine,
+            chunks=args.chunks, chunk_overlap=args.chunk_overlap,
+        )
         print(json.dumps([asdict(row) for row in rows], indent=2, sort_keys=True))
         return 0
-    print(external.render(args.directory, settings, engine))
+    print(external.render(
+        args.directory, settings, engine,
+        chunks=args.chunks, chunk_overlap=args.chunk_overlap,
+    ))
     return 0
 
 
@@ -582,6 +650,17 @@ def sweep_main(argv: List[str]) -> int:
     parser.add_argument("--json", action="store_true",
                         help="emit the summary (and per-benchmark detail) as JSON")
     parser.add_argument(
+        "--chunks", type=int, default=0, metavar="N",
+        help=(
+            "chunk-parallel replay per run (0 = serial; miss-rate grids "
+            "only — this design-space grid runs the full simulator, so a "
+            "non-zero value is rejected; see 'trace run'/'trace report')"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-overlap", type=int, default=None, metavar="N",
+        help="warmup-overlap positions per chunk (default: full prefix)")
+    parser.add_argument(
         "--backend",
         choices=BACKENDS,
         default=None,
@@ -632,7 +711,9 @@ def sweep_main(argv: List[str]) -> int:
         return 2
     try:
         spec = design_space_spec(points, benchmarks, args.instructions, args.salt,
-                                 name="adhoc-sweep", backend=backend)
+                                 name="adhoc-sweep", backend=backend,
+                                 chunks=args.chunks,
+                                 chunk_overlap=args.chunk_overlap)
         sweep = engine.run(spec)
     except TraceParseError as error:  # missing/corrupt trace:// workload
         print(_ingest_error_message(error), file=sys.stderr)
@@ -644,13 +725,15 @@ def sweep_main(argv: List[str]) -> int:
     if args.json:
         document = design_space_document(
             sweep, points, benchmarks, args.instructions, args.component,
-            args.salt, backend=backend,
+            args.salt, backend=backend, chunks=args.chunks,
+            chunk_overlap=args.chunk_overlap,
         )
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
         summaries = summarize(
             sweep, points, benchmarks, args.instructions, args.component,
-            args.salt, backend=backend,
+            args.salt, backend=backend, chunks=args.chunks,
+            chunk_overlap=args.chunk_overlap,
         )
         title = (
             f"Design-space sweep over {', '.join(benchmarks)} "

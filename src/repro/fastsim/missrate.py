@@ -51,18 +51,52 @@ def fast_miss_rate(
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
     encoded = trace if isinstance(trace, EncodedTrace) else encode_trace(trace)
-    blocks = encoded.blocks(geometry.fields)
-    warmup = int(len(blocks) * warmup_fraction)
+    n = len(encoded)
+    warmup = int(n * warmup_fraction)
+    return fast_miss_rate_window(
+        encoded, geometry, replacement,
+        replay_start=0, count_start=warmup, end=n,
+    )
+
+
+def fast_miss_rate_window(
+    trace: Union[Trace, EncodedTrace],
+    geometry: CacheGeometry,
+    replacement: str = "lru",
+    *,
+    replay_start: int,
+    count_start: int,
+    end: int,
+) -> MissRateResult:
+    """Batched equivalent of
+    :func:`~repro.sim.functional.measure_miss_rate_window`.
+
+    Replays memory-op positions ``[replay_start, end)`` through fresh
+    per-set state, counting only positions ``>= count_start``.  The
+    window slices the pre-decoded block stream, so the same kernels
+    serve serial and chunked replay unchanged.
+    """
+    if not 0 <= replay_start <= end:
+        raise ValueError(f"invalid replay window [{replay_start}, {end})")
+    if count_start < replay_start:
+        raise ValueError(
+            f"count_start {count_start} precedes replay_start {replay_start}"
+        )
+    encoded = trace if isinstance(trace, EncodedTrace) else encode_trace(trace)
+    end = min(end, len(encoded))
+    blocks = encoded.blocks(geometry.fields)[replay_start:end]
+    is_load = encoded.is_load[replay_start:end]
+    warmup = max(0, min(count_start, end) - replay_start)
     if geometry.associativity == 1:
         # Direct-mapped: residency is one block per set; replacement
         # policies never arbitrate, so every name behaves identically —
         # but an unknown name must still raise like the reference does.
         make_replacement(replacement, 1)
-        counts = _replay_direct_mapped(blocks, encoded.is_load, geometry, warmup)
+        counts = _replay_direct_mapped(blocks, is_load, geometry, warmup)
     elif replacement == "lru":
-        counts = _replay_lru(blocks, encoded.is_load, geometry, warmup)
+        counts = _replay_lru(blocks, is_load, geometry, warmup)
     else:
-        counts = _replay_generic(blocks, encoded.is_load, geometry, replacement, warmup)
+        counts = _replay_generic(blocks, is_load, geometry, replacement, warmup)
     accesses, misses, load_accesses, load_misses = counts
     return MissRateResult(
         accesses=accesses,

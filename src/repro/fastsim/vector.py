@@ -57,7 +57,7 @@ from typing import Optional, Tuple, Union
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement import make_replacement
-from repro.fastsim.missrate import fast_miss_rate
+from repro.fastsim.missrate import fast_miss_rate, fast_miss_rate_window
 from repro.sim.functional import MissRateResult
 from repro.workload.encode import EncodedTrace, encode_trace
 from repro.workload.trace import Trace
@@ -73,6 +73,7 @@ __all__ = [
     "resolve_tier",
     "vector_enabled",
     "vector_miss_rate",
+    "vector_miss_rate_window",
 ]
 
 #: Set to a non-empty value other than ``0`` to opt out of the vector
@@ -131,9 +132,54 @@ def vector_miss_rate(
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
     encoded = trace if isinstance(trace, EncodedTrace) else encode_trace(trace)
-    counts = _vector_counts(encoded, geometry, replacement, warmup_fraction)
+    n = len(encoded)
+    warmup = int(n * warmup_fraction)
+    counts = _vector_counts(encoded, geometry, replacement, 0, warmup, n)
     if counts is None:
         return fast_miss_rate(encoded, geometry, replacement, warmup_fraction)
+    accesses, misses, load_accesses, load_misses = counts
+    return MissRateResult(
+        accesses=accesses,
+        misses=misses,
+        load_accesses=load_accesses,
+        load_misses=load_misses,
+    )
+
+
+def vector_miss_rate_window(
+    trace: Union[Trace, EncodedTrace],
+    geometry: CacheGeometry,
+    replacement: str = "lru",
+    *,
+    replay_start: int,
+    count_start: int,
+    end: int,
+) -> MissRateResult:
+    """Vectorized equivalent of
+    :func:`~repro.sim.functional.measure_miss_rate_window`.
+
+    The window slices the memoized numpy views zero-copy, so every
+    vector kernel classifies exactly the positions a chunk replays;
+    policies with no vector form fall back to
+    :func:`~repro.fastsim.missrate.fast_miss_rate_window` per window.
+    """
+    if not 0 <= replay_start <= end:
+        raise ValueError(f"invalid replay window [{replay_start}, {end})")
+    if count_start < replay_start:
+        raise ValueError(
+            f"count_start {count_start} precedes replay_start {replay_start}"
+        )
+    encoded = trace if isinstance(trace, EncodedTrace) else encode_trace(trace)
+    end = min(end, len(encoded))
+    count_start = min(count_start, end)
+    counts = _vector_counts(
+        encoded, geometry, replacement, replay_start, count_start, end
+    )
+    if counts is None:
+        return fast_miss_rate_window(
+            encoded, geometry, replacement,
+            replay_start=replay_start, count_start=count_start, end=end,
+        )
     accesses, misses, load_accesses, load_misses = counts
     return MissRateResult(
         accesses=accesses,
@@ -147,9 +193,15 @@ def _vector_counts(
     encoded: EncodedTrace,
     geometry: CacheGeometry,
     replacement: str,
-    warmup_fraction: float,
+    replay_start: int,
+    count_start: int,
+    end: int,
 ) -> Optional[_Counts]:
-    """Route to a vector kernel; ``None`` means "use the python tier"."""
+    """Route one replay window to a vector kernel; ``None`` means "use
+    the python tier".  The serial path is the window ``(0, warmup, n)``;
+    chunked replay passes owned-region windows, and the kernels see only
+    the zero-copy slice ``[replay_start:end)`` with ``warmup`` relative
+    positions to evolve state over before counting."""
     if not vector_enabled():
         return None
     num_sets = geometry.num_sets
@@ -157,17 +209,20 @@ def _vector_counts(
     if num_sets > (1 << 32):
         return None  # set index would overflow the packed sort key
     blocks = encoded.blocks_np(geometry.fields)
-    n = int(blocks.shape[0])
-    if n >= (1 << 32):
+    if int(blocks.shape[0]) >= (1 << 32):
         return None  # position would overflow the packed sort key
+    blocks = blocks[replay_start:end]
+    n = int(blocks.shape[0])
+    warmup = count_start - replay_start
     if assoc == 1:
         # Replacement never arbitrates a direct-mapped cache, but an
         # unknown name must still raise exactly like the other tiers.
         make_replacement(replacement, 1)
         if n == 0:
             return (0, 0, 0, 0)
-        warmup = int(n * warmup_fraction)
-        return _direct_mapped(blocks, encoded.is_load_np(), num_sets, warmup)
+        return _direct_mapped(
+            blocks, encoded.is_load_np()[replay_start:end], num_sets, warmup
+        )
     if replacement == "plru":
         # Validates power-of-two associativity like the reference does.
         make_replacement(replacement, assoc)
@@ -175,8 +230,7 @@ def _vector_counts(
         return None  # fifo/random/plugins: object-driven python tier
     if n == 0:
         return (0, 0, 0, 0)
-    warmup = int(n * warmup_fraction)
-    is_load = encoded.is_load_np()
+    is_load = encoded.is_load_np()[replay_start:end]
     if replacement == "lru" or assoc == 2:
         # A 2-way PLRU tree is exact LRU: its single bit always points
         # at the less recently used way.

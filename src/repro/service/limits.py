@@ -88,5 +88,12 @@ class RateLimiter:
         return self._bucket(tenant).try_acquire()
 
     def retry_after(self, tenant: str) -> float:
-        """The ``Retry-After`` hint for a just-rejected tenant."""
-        return self._bucket(tenant).wait_seconds()
+        """The ``Retry-After`` hint for a just-rejected tenant.
+
+        Clamped to >= 1 second: a bucket refilling between the rejection
+        and this probe (or a sub-second deficit rounding down) would
+        otherwise advertise ``Retry-After: 0``, which compliant clients
+        treat as "retry immediately" — a tight retry loop against a
+        limiter that just said no.
+        """
+        return max(1.0, self._bucket(tenant).wait_seconds())

@@ -227,7 +227,14 @@ class JobQueue:
             )
 
     def recover(self) -> List[JobRecord]:
-        """Re-enqueue jobs left ``running`` by a dead process (startup)."""
+        """Re-enqueue jobs left ``running`` by a dead process (startup).
+
+        The reset clears *every* prior-life field: a job can reach
+        ``running`` again after an earlier failed/finished life (resubmit
+        of a coalesced fingerprint), so leaving ``error``/``finished``
+        behind would present a freshly re-queued job as already failed
+        or timestamped-done to status readers.
+        """
         with self._lock, self._connection:
             rows = self._connection.execute(
                 "SELECT id FROM jobs WHERE state = 'running' ORDER BY created"
@@ -235,7 +242,8 @@ class JobQueue:
             for row in rows:
                 self._connection.execute(
                     "UPDATE jobs SET state = 'queued', started = NULL,"
-                    " runs_done = 0, cache_hits = 0 WHERE id = ?",
+                    " runs_done = 0, cache_hits = 0, error = NULL,"
+                    " finished = NULL WHERE id = ?",
                     (row["id"],),
                 )
             return [self._get_locked(row["id"]) for row in rows]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
+from typing import Iterable, Tuple
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.sram import SetAssociativeCache
@@ -24,6 +25,33 @@ from repro.workload.trace import Trace
 
 #: Attribute memoizing the buffered memory-op arrays on a trace.
 _MEM_OPS_ATTR = "_functional_mem_ops"
+
+
+def trace_mem_ops(trace: Trace) -> Tuple[array, array]:
+    """The trace's memory-op streams ``(addrs, is_load)``, memoized.
+
+    One streaming pass buffers the memory ops into compact unsigned
+    arrays (9 bytes/op) instead of a materialized Instr list: the
+    counts are identical, a StreamingTrace (ingested file) is parsed
+    at most once, and no per-instruction objects outlive their chunk.
+    The buffers memoize on the trace (like the fast backend's encoding,
+    but built independently of it — the differential suite relies on
+    the two paths not sharing decode state), so sweeping many
+    configurations over one file-backed trace parses it once.  The
+    chunk planner also reads the stream length from here without
+    paying a second parse.
+    """
+    memo = getattr(trace, _MEM_OPS_ATTR, None)
+    if memo is None:
+        addrs = array("Q")
+        loads = array("b")
+        for instr in trace:
+            if instr.op == OP_LOAD or instr.op == OP_STORE:
+                addrs.append(instr.addr)
+                loads.append(1 if instr.op == OP_LOAD else 0)
+        memo = (addrs, loads)
+        setattr(trace, _MEM_OPS_ATTR, memo)
+    return memo
 
 
 @dataclass(frozen=True)
@@ -62,30 +90,46 @@ def measure_miss_rate(
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
-    cache = SetAssociativeCache(geometry, replacement=replacement)
-    # One streaming pass buffering the memory ops into compact unsigned
-    # arrays (9 bytes/op) instead of a materialized Instr list: the
-    # counts are identical, a StreamingTrace (ingested file) is parsed
-    # at most once, and no per-instruction objects outlive their chunk.
-    # The buffers memoize on the trace (like the fast backend's
-    # encoding, but built independently of it — the differential suite
-    # relies on the two paths not sharing decode state), so sweeping
-    # many configurations over one file-backed trace parses it once.
-    memo = getattr(trace, _MEM_OPS_ATTR, None)
-    if memo is None:
-        addrs = array("Q")
-        loads = array("b")
-        for instr in trace:
-            if instr.op == OP_LOAD or instr.op == OP_STORE:
-                addrs.append(instr.addr)
-                loads.append(1 if instr.op == OP_LOAD else 0)
-        memo = (addrs, loads)
-        setattr(trace, _MEM_OPS_ATTR, memo)
-    addrs, loads = memo
+    addrs, _loads = trace_mem_ops(trace)
     warmup = int(len(addrs) * warmup_fraction)
+    return measure_miss_rate_window(
+        trace, geometry, replacement,
+        replay_start=0, count_start=warmup, end=len(addrs),
+    )
+
+
+def measure_miss_rate_window(
+    trace: Trace,
+    geometry: CacheGeometry,
+    replacement: str = "lru",
+    *,
+    replay_start: int,
+    count_start: int,
+    end: int,
+) -> MissRateResult:
+    """Replay one window of ``trace``'s memory-op stream from cold state.
+
+    Replays positions ``[replay_start, end)`` through a fresh cache and
+    counts statistics only at positions ``>= count_start`` — the
+    chunked-replay primitive (the serial path is the window
+    ``(0, warmup, n)``).  A window that is entirely warmup
+    (``count_start >= end``) counts zero accesses; the degenerate-trace
+    contract makes its ``miss_rate`` 0.0 on every tier.
+    """
+    if not 0 <= replay_start <= end:
+        raise ValueError(
+            f"invalid replay window [{replay_start}, {end})"
+        )
+    if count_start < replay_start:
+        raise ValueError(
+            f"count_start {count_start} precedes replay_start {replay_start}"
+        )
+    cache = SetAssociativeCache(geometry, replacement=replacement)
+    addrs, loads = trace_mem_ops(trace)
+    end = min(end, len(addrs))
 
     accesses = misses = load_accesses = load_misses = 0
-    for position in range(len(addrs)):
+    for position in range(replay_start, end):
         addr = addrs[position]
         way = cache.probe(addr)
         hit = way is not None
@@ -93,7 +137,7 @@ def measure_miss_rate(
             cache.touch(addr, way)
         else:
             cache.fill(addr)
-        if position < warmup:
+        if position < count_start:
             continue
         accesses += 1
         is_load = loads[position]
@@ -103,6 +147,27 @@ def measure_miss_rate(
             misses += 1
             if is_load:
                 load_misses += 1
+    return MissRateResult(
+        accesses=accesses,
+        misses=misses,
+        load_accesses=load_accesses,
+        load_misses=load_misses,
+    )
+
+
+def merge_miss_rates(parts: Iterable[MissRateResult]) -> MissRateResult:
+    """Sum per-chunk counters into one result (zero parts = all zero).
+
+    Counter addition is exact — each chunk counts only its owned
+    region, and regions tile the stream — so under a full-prefix
+    overlap the merge is byte-identical to the serial replay.
+    """
+    accesses = misses = load_accesses = load_misses = 0
+    for part in parts:
+        accesses += part.accesses
+        misses += part.misses
+        load_accesses += part.load_accesses
+        load_misses += part.load_misses
     return MissRateResult(
         accesses=accesses,
         misses=misses,

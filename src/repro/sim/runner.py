@@ -52,23 +52,39 @@ from __future__ import annotations
 
 import hashlib
 import json
+import multiprocessing
 import os
 import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from pickle import PicklingError
+from typing import Dict, List, Optional, Tuple
 
-from repro.fastsim.missrate import fast_miss_rate
-from repro.fastsim.vector import resolve_tier, vector_miss_rate
+from repro.fastsim.missrate import fast_miss_rate, fast_miss_rate_window
+from repro.fastsim.vector import (
+    resolve_tier,
+    vector_miss_rate,
+    vector_miss_rate_window,
+)
 from repro.sim.config import SystemConfig
-from repro.sim.functional import measure_miss_rate
+from repro.sim.functional import (
+    MissRateResult,
+    measure_miss_rate,
+    measure_miss_rate_window,
+    merge_miss_rates,
+    trace_mem_ops,
+)
 from repro.sim.results import L1Metrics, SimResult
 from repro.sim.simulator import BACKENDS, Simulator
+from repro.workload.encode import encode_trace
 from repro.workload.formats import is_trace_ref, load_trace_ref, trace_ref_fingerprint
 from repro.workload.generator import generate_trace
-from repro.workload.trace import Trace
+from repro.workload.trace import ChunkPlan, Trace, plan_chunks
 
 __all__ = [
     "BACKENDS",
+    "CHUNK_REPORT_ATTR",
     "RUN_MODES",
     "cache_key",
     "clear_caches",
@@ -90,6 +106,22 @@ _MISSRATE_MEASURES = {
     "fast": fast_miss_rate,
     "vector": vector_miss_rate,
 }
+
+#: Window-replay form per resolved kernel tier (chunked execution).
+_WINDOW_MEASURES = {
+    "reference": measure_miss_rate_window,
+    "fast": fast_miss_rate_window,
+    "vector": vector_miss_rate_window,
+}
+
+#: Warmup fraction of the serial miss-rate path (the chunk planner must
+#: place the global counting boundary exactly where serial replay does).
+_WARMUP_FRACTION = 0.2
+
+#: Attribute carrying a chunked run's error-bound report on its
+#: :class:`SimResult`.  Deliberately *not* a flat field: chunked and
+#: serial ``to_flat()`` exports must stay byte-identical.
+CHUNK_REPORT_ATTR = "chunk_report"
 
 _RESULT_CACHE: Dict[str, SimResult] = {}
 _TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
@@ -144,6 +176,38 @@ def workload_id(benchmark: str) -> str:
     return benchmark
 
 
+def _validate_chunking(mode: str, chunks: int, chunk_overlap: Optional[int]) -> None:
+    """Reject invalid chunk-plan coordinates before any key is built."""
+    if chunks < 0:
+        raise ValueError(f"chunks must be >= 0 (0 = serial), got {chunks}")
+    if chunks > 0 and mode != "missrate":
+        raise ValueError(
+            f"chunked replay requires mode='missrate', got mode={mode!r}"
+        )
+    if chunk_overlap is not None:
+        if chunks == 0:
+            raise ValueError("chunk_overlap requires chunks > 0")
+        if chunk_overlap < 0:
+            raise ValueError(
+                f"chunk_overlap must be >= 0 or None (full prefix), "
+                f"got {chunk_overlap}"
+            )
+
+
+def _chunk_token(chunks: int, chunk_overlap: Optional[int]) -> str:
+    """The cache-key component naming the chunk plan.
+
+    The realized region boundaries are deliberately *not* part of the
+    token: they are a pure function of (stream length, chunks, overlap),
+    and the stream's identity is already keyed via :func:`workload_id`
+    — embedding them would force a trace parse at key time.
+    """
+    if chunks == 0:
+        return "serial"
+    overlap = "full" if chunk_overlap is None else str(chunk_overlap)
+    return f"chunks={chunks}:overlap={overlap}"
+
+
 def cache_key(
     benchmark: str,
     config: SystemConfig,
@@ -151,6 +215,8 @@ def cache_key(
     salt: int = 0,
     mode: str = "sim",
     backend: str = "reference",
+    chunks: int = 0,
+    chunk_overlap: Optional[int] = None,
 ) -> str:
     """Stable cache key for one run (includes the result-schema version).
 
@@ -165,11 +231,17 @@ def cache_key(
     requested backend: backend resolution is environment-dependent
     (``"fast"`` auto-upgrades to the vector kernels when numpy is
     importable), so the tier that actually executed must be part of
-    the entry's identity for the same provenance reason.
+    the entry's identity for the same provenance reason.  The v6->v7
+    bump embeds the chunk plan (count and overlap, ``serial`` when
+    unchunked): chunked replay with a finite overlap is a sampled
+    approximation, so toggling ``chunks`` must never serve a stale
+    serial entry — or vice versa.
     """
+    _validate_chunking(mode, chunks, chunk_overlap)
     payload = (
         f"{workload_id(benchmark)}|{config.key()}|{instructions}|{salt}|{mode}|{backend}"
-        f"|{resolve_tier(backend, mode)}|v6:{SCHEMA_VERSION}"
+        f"|{resolve_tier(backend, mode)}|{_chunk_token(chunks, chunk_overlap)}"
+        f"|v7:{SCHEMA_VERSION}"
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -189,6 +261,47 @@ def _load_disk(key: str) -> Optional[SimResult]:
         return SimResult.from_flat(data)
     except (OSError, ValueError, TypeError):
         return None
+
+
+def _load_chunk_report(key: str) -> Optional[dict]:
+    """Load a chunked run's error-bound report sidecar, if present."""
+    directory = _disk_cache_dir()
+    if directory is None:
+        return None
+    path = directory / f"{key}.chunk.json"
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return data if isinstance(data, dict) else None
+    except (OSError, ValueError):
+        return None
+
+
+def _store_chunk_report(key: str, report: dict) -> None:
+    """Persist a chunked run's error-bound report next to its result.
+
+    The report rides in a ``{key}.chunk.json`` sidecar rather than the
+    flat result blob: ``to_flat()`` must stay byte-identical between
+    chunked and serial runs (the acceptance contract), so the report
+    can never be a flat field — but a cache hit must still surface it.
+    """
+    directory = _disk_cache_dir()
+    if directory is None:
+        return
+    path = directory / f"{key}.chunk.json"
+    tmp = path.with_name(
+        f".tmp{os.getpid()}.{threading.get_native_id()}.{path.name}"
+    )
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(report, handle)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        # caching is best-effort
 
 
 def _store_disk(key: str, result: SimResult) -> None:
@@ -256,16 +369,231 @@ def load_cached(
     salt: int = 0,
     mode: str = "sim",
     backend: str = "reference",
+    chunks: int = 0,
+    chunk_overlap: Optional[int] = None,
 ) -> Optional[SimResult]:
     """Resolve one run against the caches; ``None`` means "must execute"."""
-    key = cache_key(benchmark, config, instructions, salt, mode, backend)
+    key = cache_key(
+        benchmark, config, instructions, salt, mode, backend, chunks, chunk_overlap
+    )
     cached = _RESULT_CACHE.get(key)
-    if cached is not None:
-        return cached
-    cached = _load_disk(key)
-    if cached is not None:
-        _RESULT_CACHE[key] = cached
+    if cached is None:
+        cached = _load_disk(key)
+        if cached is not None:
+            _RESULT_CACHE[key] = cached
+    if (
+        cached is not None
+        and chunks > 0
+        and getattr(cached, CHUNK_REPORT_ATTR, None) is None
+    ):
+        # A disk hit rebuilt the result from its flat blob, which never
+        # carries the error-bound report — re-attach it from the sidecar.
+        report = _load_chunk_report(key)
+        if report is not None:
+            setattr(cached, CHUNK_REPORT_ATTR, report)
     return cached
+
+
+def _build_missrate_result(
+    trace: Trace, config: SystemConfig, measured: MissRateResult
+) -> SimResult:
+    """Package functional miss counters as a :class:`SimResult`."""
+    result = SimResult(benchmark=trace.name, config_key=config.key())
+    # The replayed count: identical to ``instructions`` for synthetic
+    # benchmarks, the (possibly capped) file length for ingested traces.
+    # len() is free here — the measurement pass already memoized a
+    # streaming trace's length.
+    result.core.instructions = len(trace)
+    result.dcache = L1Metrics(
+        loads=measured.load_accesses,
+        stores=measured.accesses - measured.load_accesses,
+        load_misses=measured.load_misses,
+        misses=measured.misses,
+    )
+    return result
+
+
+def _stream_length(trace: Trace, tier: str) -> int:
+    """Memory-op count of ``trace`` via the tier's own decode path.
+
+    All tiers agree on the count, but going through the tier-matched
+    memo (mem-op arrays for reference, the encoded stream otherwise)
+    pre-builds exactly the state a forked chunk worker will inherit.
+    """
+    if tier == "reference":
+        return len(trace_mem_ops(trace)[0])
+    return len(encode_trace(trace))
+
+
+def _execute_chunk(payload: Tuple) -> Tuple[int, int, int, int]:
+    """Chunk-pool worker: replay one window, return its raw counters.
+
+    Top-level (picklable) by construction.  The worker re-resolves the
+    trace by name: under a ``fork`` start method it inherits the
+    parent's trace/encode memos for free, and under ``spawn`` the
+    re-generation/re-ingest is pure, so the replay is identical either
+    way.
+    """
+    (benchmark, config, instructions, salt, tier,
+     replay_start, count_start, end) = payload
+    trace = get_trace(benchmark, instructions, salt)
+    measured = _WINDOW_MEASURES[tier](
+        trace,
+        config.dcache.geometry(),
+        config.replacement,
+        replay_start=replay_start,
+        count_start=count_start,
+        end=end,
+    )
+    return (
+        measured.accesses,
+        measured.misses,
+        measured.load_accesses,
+        measured.load_misses,
+    )
+
+
+def _run_windows(
+    benchmark: str,
+    trace: Trace,
+    config: SystemConfig,
+    instructions: int,
+    salt: int,
+    tier: str,
+    windows: List[Tuple[int, int, int]],
+    chunk_jobs: int,
+) -> List[MissRateResult]:
+    """Replay every ``(replay_start, count_start, end)`` window.
+
+    ``chunk_jobs > 1`` fans the windows out over a process pool — this
+    is *within-run* parallelism, distinct from (and composable with)
+    the sweep engine's per-run pool; the engine always drives its own
+    workers with ``chunk_jobs=1`` so pools never nest.  Any pool
+    failure falls back to in-process serial replay, mirroring the
+    engine's own degradation contract.
+    """
+    jobs = max(1, min(chunk_jobs, len(windows)))
+    if jobs > 1:
+        payloads = [
+            (benchmark, config, instructions, salt, tier,
+             replay_start, count_start, end)
+            for replay_start, count_start, end in windows
+        ]
+        try:
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            else:
+                context = multiprocessing.get_context()
+            with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+                counts = list(pool.map(_execute_chunk, payloads))
+            return [MissRateResult(*part) for part in counts]
+        except (OSError, BrokenProcessPool, PicklingError, ImportError):
+            pass  # pool unavailable: degrade to serial chunk replay
+    measure = _WINDOW_MEASURES[tier]
+    return [
+        measure(
+            trace,
+            config.dcache.geometry(),
+            config.replacement,
+            replay_start=replay_start,
+            count_start=count_start,
+            end=end,
+        )
+        for replay_start, count_start, end in windows
+    ]
+
+
+def _error_bound_report(
+    trace: Trace,
+    config: SystemConfig,
+    tier: str,
+    plan: ChunkPlan,
+    warmup: int,
+    parts: List[MissRateResult],
+) -> dict:
+    """Build the error-bound section attached to every chunked run.
+
+    The merged counters are compared against a *serial golden* replay
+    of a sampled prefix (the first one or two owned regions): the
+    golden replays ``[0, sample_end)`` with the global warmup boundary,
+    so under a full-prefix overlap the two agree exactly, and under a
+    finite overlap the delta measures the warmup truncation error on
+    real data rather than asserting a bound a priori.
+    """
+    report = dict(plan.to_document())
+    report["warmup"] = warmup
+    report["tier"] = tier
+    report["exact"] = plan.overlap is None
+    regions = plan.regions
+    sampled = min(2, len(regions))
+    if sampled == 0:
+        report["sample"] = {
+            "end": 0,
+            "chunks_compared": 0,
+            "accesses": 0,
+            "misses_chunked": 0,
+            "misses_serial": 0,
+            "abs_miss_rate_error": 0.0,
+        }
+        return report
+    sample_end = regions[sampled - 1].end
+    chunked = merge_miss_rates(parts[:sampled])
+    serial = _WINDOW_MEASURES[tier](
+        trace,
+        config.dcache.geometry(),
+        config.replacement,
+        replay_start=0,
+        count_start=warmup,
+        end=sample_end,
+    )
+    report["sample"] = {
+        "end": sample_end,
+        "chunks_compared": sampled,
+        "accesses": serial.accesses,
+        "misses_chunked": chunked.misses,
+        "misses_serial": serial.misses,
+        "abs_miss_rate_error": abs(chunked.miss_rate - serial.miss_rate),
+    }
+    return report
+
+
+def _execute_chunked(
+    benchmark: str,
+    trace: Trace,
+    config: SystemConfig,
+    instructions: int,
+    salt: int,
+    tier: str,
+    chunks: int,
+    chunk_overlap: Optional[int],
+    chunk_jobs: int,
+) -> SimResult:
+    """Chunk-parallel miss-rate replay with warmup-overlap merge.
+
+    The stream's ``[0, n)`` mem-op positions split into ``chunks``
+    owned regions; each replays from its warmup prefix through fresh
+    cache state and counts only inside ``[max(start, W), end)`` where
+    ``W`` is the *global* serial warmup boundary.  The owned count
+    windows tile ``[W, n)`` exactly, so summing the per-chunk counters
+    reproduces the serial counters — byte-identically when the overlap
+    is the full prefix, approximately (and measured, see
+    :func:`_error_bound_report`) for finite overlaps.
+    """
+    total = _stream_length(trace, tier)
+    plan = plan_chunks(total, chunks, chunk_overlap)
+    warmup = int(total * _WARMUP_FRACTION)
+    windows = [
+        (region.warmup_start, max(region.start, warmup), region.end)
+        for region in plan.regions
+    ]
+    parts = _run_windows(
+        benchmark, trace, config, instructions, salt, tier, windows, chunk_jobs
+    )
+    merged = merge_miss_rates(parts)
+    result = _build_missrate_result(trace, config, merged)
+    report = _error_bound_report(trace, config, tier, plan, warmup, parts)
+    setattr(result, CHUNK_REPORT_ATTR, report)
+    return result
 
 
 def execute(
@@ -275,32 +603,29 @@ def execute(
     salt: int = 0,
     mode: str = "sim",
     backend: str = "reference",
+    chunks: int = 0,
+    chunk_overlap: Optional[int] = None,
+    chunk_jobs: int = 1,
 ) -> SimResult:
     """Run one point, bypassing all caches (worker-process safe)."""
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; valid: {BACKENDS}")
+    _validate_chunking(mode, chunks, chunk_overlap)
     if mode == "sim":
         trace = get_trace(benchmark, instructions, salt)
         return Simulator(config, backend=backend).run(trace)
     if mode == "missrate":
         trace = get_trace(benchmark, instructions, salt)
-        measure = _MISSRATE_MEASURES[resolve_tier(backend, mode)]
-        measured = measure(
+        tier = resolve_tier(backend, mode)
+        if chunks > 0:
+            return _execute_chunked(
+                benchmark, trace, config, instructions, salt, tier,
+                chunks, chunk_overlap, chunk_jobs,
+            )
+        measured = _MISSRATE_MEASURES[tier](
             trace, config.dcache.geometry(), replacement=config.replacement
         )
-        result = SimResult(benchmark=trace.name, config_key=config.key())
-        # The replayed count: identical to ``instructions`` for
-        # synthetic benchmarks, the (possibly capped) file length for
-        # ingested traces.  len() is free here — the measurement pass
-        # above already memoized a streaming trace's length.
-        result.core.instructions = len(trace)
-        result.dcache = L1Metrics(
-            loads=measured.load_accesses,
-            stores=measured.accesses - measured.load_accesses,
-            load_misses=measured.load_misses,
-            misses=measured.misses,
-        )
-        return result
+        return _build_missrate_result(trace, config, measured)
     raise ValueError(f"unknown run mode {mode!r}; valid: {RUN_MODES}")
 
 
@@ -312,11 +637,18 @@ def store_result(
     salt: int = 0,
     mode: str = "sim",
     backend: str = "reference",
+    chunks: int = 0,
+    chunk_overlap: Optional[int] = None,
 ) -> None:
     """Publish a result into the in-process and on-disk caches."""
-    key = cache_key(benchmark, config, instructions, salt, mode, backend)
+    key = cache_key(
+        benchmark, config, instructions, salt, mode, backend, chunks, chunk_overlap
+    )
     _RESULT_CACHE[key] = result
     _store_disk(key, result)
+    report = getattr(result, CHUNK_REPORT_ATTR, None)
+    if report is not None:
+        _store_chunk_report(key, report)
 
 
 def run_benchmark(
@@ -327,15 +659,27 @@ def run_benchmark(
     use_cache: bool = True,
     mode: str = "sim",
     backend: str = "reference",
+    chunks: int = 0,
+    chunk_overlap: Optional[int] = None,
+    chunk_jobs: int = 1,
 ) -> SimResult:
     """Simulate ``benchmark`` under ``config``; memoized."""
     if use_cache:
-        cached = load_cached(benchmark, config, instructions, salt, mode, backend)
+        cached = load_cached(
+            benchmark, config, instructions, salt, mode, backend,
+            chunks, chunk_overlap,
+        )
         if cached is not None:
             return cached
-    result = execute(benchmark, config, instructions, salt, mode, backend)
+    result = execute(
+        benchmark, config, instructions, salt, mode, backend,
+        chunks, chunk_overlap, chunk_jobs,
+    )
     if use_cache:
-        store_result(benchmark, config, instructions, result, salt, mode, backend)
+        store_result(
+            benchmark, config, instructions, result, salt, mode, backend,
+            chunks, chunk_overlap,
+        )
     return result
 
 

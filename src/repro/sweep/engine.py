@@ -35,13 +35,23 @@ from repro.sweep.result import SweepResult, SweepStats
 from repro.sweep.spec import RunSpec, SweepSpec
 
 #: Payload shipped to worker processes (must stay picklable).
-_Payload = Tuple[str, SystemConfig, int, int, str, str]
+_Payload = Tuple[str, SystemConfig, int, int, str, str, int, Optional[int]]
 
 
 def _execute_payload(payload: _Payload) -> SimResult:
-    """Worker entry point: execute one run with no cache side effects."""
-    benchmark, config, instructions, salt, mode, backend = payload
-    return runner.execute(benchmark, config, instructions, salt, mode, backend)
+    """Worker entry point: execute one run with no cache side effects.
+
+    Chunked runs always execute with ``chunk_jobs=1`` here: the sweep
+    engine's per-run pool and the runner's per-chunk pool must never
+    nest.  Within-run chunk parallelism belongs to single-run callers
+    (``trace run --jobs``).
+    """
+    (benchmark, config, instructions, salt, mode, backend,
+     chunks, chunk_overlap) = payload
+    return runner.execute(
+        benchmark, config, instructions, salt, mode, backend,
+        chunks, chunk_overlap, chunk_jobs=1,
+    )
 
 
 def default_jobs() -> int:
@@ -126,7 +136,7 @@ class SweepEngine:
             cached = (
                 runner.load_cached(
                     run.benchmark, run.config, run.instructions, run.salt, run.mode,
-                    run.backend,
+                    run.backend, run.chunks, run.chunk_overlap,
                 )
                 if self.use_cache
                 else None
@@ -161,7 +171,7 @@ class SweepEngine:
         if self.use_cache:
             runner.store_result(
                 run.benchmark, run.config, run.instructions, sim_result,
-                run.salt, run.mode, run.backend,
+                run.salt, run.mode, run.backend, run.chunks, run.chunk_overlap,
             )
 
     def _execute(
@@ -183,7 +193,7 @@ class SweepEngine:
         for run in pending:
             sim_result = _execute_payload(
                 (run.benchmark, run.config, run.instructions, run.salt, run.mode,
-                 run.backend)
+                 run.backend, run.chunks, run.chunk_overlap)
             )
             self._store(run, sim_result)
             out.append((run, sim_result))
@@ -219,7 +229,7 @@ class SweepEngine:
         )
         payloads: List[_Payload] = [
             (run.benchmark, run.config, run.instructions, run.salt, run.mode,
-             run.backend)
+             run.backend, run.chunks, run.chunk_overlap)
             for run in ordered
         ]
         # Chunks balance trace locality (same-benchmark specs cluster)

@@ -77,9 +77,16 @@ class SweepResult:
         salt: int = 0,
         mode: str = "sim",
         backend: str = "reference",
+        chunks: int = 0,
+        chunk_overlap: Optional[int] = None,
     ) -> SimResult:
         """Look up one result by its run coordinates."""
-        return self[RunSpec(benchmark, config, instructions, salt, mode, backend)]
+        return self[
+            RunSpec(
+                benchmark, config, instructions, salt, mode, backend,
+                chunks, chunk_overlap,
+            )
+        ]
 
     def pair(
         self,
@@ -89,11 +96,16 @@ class SweepResult:
         instructions: int,
         salt: int = 0,
         backend: str = "reference",
+        chunks: int = 0,
+        chunk_overlap: Optional[int] = None,
     ) -> Tuple[SimResult, SimResult]:
         """The (technique, baseline) results the paper's relative metrics need."""
+        mode = "missrate" if chunks > 0 else "sim"
         return (
-            self.get(benchmark, technique, instructions, salt, backend=backend),
-            self.get(benchmark, baseline, instructions, salt, backend=backend),
+            self.get(benchmark, technique, instructions, salt, mode=mode,
+                     backend=backend, chunks=chunks, chunk_overlap=chunk_overlap),
+            self.get(benchmark, baseline, instructions, salt, mode=mode,
+                     backend=backend, chunks=chunks, chunk_overlap=chunk_overlap),
         )
 
     # -------------------------------------------------------------- #

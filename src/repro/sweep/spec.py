@@ -11,7 +11,7 @@ which is what makes every experiment's grid trivially parallelizable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.sim import runner
 from repro.sim.config import SystemConfig
@@ -34,6 +34,11 @@ class RunSpec:
             sim points run the fast pipeline).  Results are
             byte-identical — the tiers trade introspectability for
             speed.
+        chunks: chunk count for chunk-parallel miss-rate replay
+            (``0`` = serial; requires ``mode="missrate"``).
+        chunk_overlap: warmup-overlap positions replayed before each
+            owned chunk region, or ``None`` for the full prefix
+            (exact for any replacement policy).
     """
 
     benchmark: str
@@ -42,6 +47,8 @@ class RunSpec:
     salt: int = 0
     mode: str = "sim"
     backend: str = "reference"
+    chunks: int = 0
+    chunk_overlap: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in RUN_MODES:
@@ -50,12 +57,13 @@ class RunSpec:
             raise ValueError(f"unknown backend {self.backend!r}; valid: {BACKENDS}")
         if self.instructions <= 0:
             raise ValueError(f"instructions must be positive, got {self.instructions}")
+        runner._validate_chunking(self.mode, self.chunks, self.chunk_overlap)
 
     def key(self) -> str:
         """The backend cache key this spec resolves to."""
         return runner.cache_key(
             self.benchmark, self.config, self.instructions, self.salt, self.mode,
-            self.backend,
+            self.backend, self.chunks, self.chunk_overlap,
         )
 
     def describe(self) -> str:
@@ -63,6 +71,9 @@ class RunSpec:
         suffix = "" if self.mode == "sim" else f" ({self.mode})"
         if self.backend != "reference":
             suffix += f" [{self.backend}]"
+        if self.chunks > 0:
+            overlap = "full" if self.chunk_overlap is None else self.chunk_overlap
+            suffix += f" [chunks={self.chunks}/overlap={overlap}]"
         return (
             f"{self.benchmark} x {self.config.describe()} "
             f"@ {self.instructions}i/s{self.salt}{suffix}"
@@ -100,10 +111,15 @@ class SweepSpec:
         salts: Sequence[int] = (0,),
         mode: str = "sim",
         backend: str = "reference",
+        chunks: int = 0,
+        chunk_overlap: Optional[int] = None,
     ) -> "SweepSpec":
         """Cartesian product benchmarks x configs x salts."""
         runs = tuple(
-            RunSpec(benchmark, config, instructions, salt, mode, backend)
+            RunSpec(
+                benchmark, config, instructions, salt, mode, backend,
+                chunks, chunk_overlap,
+            )
             for benchmark in benchmarks
             for config in configs
             for salt in salts

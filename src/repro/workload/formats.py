@@ -396,6 +396,22 @@ def parse_trace_ref(ref: str) -> Tuple[str, Optional[str]]:
     return path, fmt
 
 
+def _check_ref_format(ref: str, fmt: Optional[str]) -> None:
+    """Reject a ``trace://path#format`` ref naming an unregistered format.
+
+    Raised as :class:`TraceParseError` — not the registry's plain
+    ``ValueError`` — so every ref consumer (CLI subcommands,
+    ``runner.get_trace``, service submission) reports it through the
+    one-line ingest-error convention: exit 2, registered formats named.
+    """
+    if fmt is None:
+        return
+    try:
+        get_trace_format(fmt)
+    except ValueError as error:
+        raise TraceParseError(f"{ref!r}: {error}") from None
+
+
 def load_trace_ref(
     ref: str,
     *,
@@ -405,6 +421,7 @@ def load_trace_ref(
 ) -> Trace:
     """Open the trace a ``trace://`` workload reference names."""
     path, fmt = parse_trace_ref(ref)
+    _check_ref_format(ref, fmt)
     return load_trace(
         path, fmt, limit=limit, chunk_instructions=chunk_instructions,
         streaming=streaming,
@@ -445,6 +462,7 @@ def trace_fingerprint(path: Union[str, Path], fmt: Optional[str] = None) -> str:
 def trace_ref_fingerprint(ref: str) -> str:
     """:func:`trace_fingerprint` addressed by a ``trace://`` reference."""
     path, fmt = parse_trace_ref(ref)
+    _check_ref_format(ref, fmt)
     return trace_fingerprint(path, fmt)
 
 

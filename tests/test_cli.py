@@ -305,6 +305,16 @@ def test_trace_error_paths_one_line_naming_formats(tmp_path, capsys):
     assert "hologram" in err and "registered formats" in err
 
 
+def test_trace_run_unregistered_format_on_valid_file(trace_file, capsys):
+    """A real trace file with a bogus ``--format``: exit 2, one line,
+    registered formats named — regression for the ref resolving the
+    file before noticing the format name was never registered."""
+    assert main(["trace", "run", str(trace_file), "--format", "nosuch"]) == 2
+    err = capsys.readouterr().err
+    assert "nosuch" in err and "registered formats" in err
+    assert len(err.rstrip("\n").splitlines()) == 1
+
+
 def test_sweep_accepts_trace_refs(trace_file, capsys):
     ref = f"trace://{trace_file}"
     assert sweep_main(["--benchmarks", ref, "--sizes", "16", "--ways", "2",

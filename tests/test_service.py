@@ -53,6 +53,19 @@ class TestProtocol:
         assert spec.instructions == 25_000
         assert spec.component == "dcache"
         assert spec.backend == "reference"
+        assert spec.chunks == 0
+        assert spec.chunk_overlap is None
+
+    def test_chunk_fields_ride_the_fingerprint(self):
+        """Explicit serial chunking parses; the fields shape identity."""
+        spec = parse_job_request(
+            {"kind": "sweep", "benchmarks": ["gcc"], "chunks": 0,
+             "chunk_overlap": None}
+        )
+        assert spec.chunks == 0 and spec.chunk_overlap is None
+        payload = canonical_payload(spec)
+        assert payload["chunks"] == 0
+        assert payload["chunk_overlap"] is None
 
     def test_kind_defaults_to_sweep(self):
         spec = parse_job_request({"benchmarks": ["gcc"]})
@@ -85,6 +98,10 @@ class TestProtocol:
             ({"kind": "sweep", "policies": ["nope"]}, "unknown"),
             ({"kind": "sweep", "component": "l2"}, "unknown component"),
             ({"kind": "sweep", "backend": "cuda"}, "unknown backend"),
+            ({"kind": "sweep", "chunks": -1}, "integer >= 0"),
+            ({"kind": "sweep", "chunks": True}, "integer"),
+            ({"kind": "sweep", "chunks": 2}, "missrate"),
+            ({"kind": "sweep", "chunk_overlap": 4}, "chunk_overlap"),
             ({"kind": "experiment"}, "at least one experiment"),
             ({"kind": "experiment", "experiments": ["nope"]}, "unknown experiment"),
             ({"kind": "experiment", "experiments": ["table4"],
@@ -236,6 +253,36 @@ class TestJobQueue:
         assert document["state"] == "queued"
         assert document["fingerprint"] == FP_A
 
+    def test_recover_clears_prior_life_metadata(self, tmp_path):
+        """A re-queued crash casualty must not look failed or done.
+
+        Regression: ``recover`` used to reset only ``state``/``started``/
+        the counters, so a job whose row still carried ``error`` and
+        ``finished`` from an earlier failed life (re-enqueued by a
+        coalescing resubmit, then claimed, then orphaned by a crash)
+        came back as 'queued' but presented stale failure metadata to
+        status readers.
+        """
+        queue = JobQueue(tmp_path / "jobs.sqlite")
+        record, _ = queue.submit(FP_A, "sweep", {})
+        queue.claim()
+        # Forge the prior-life residue a pre-fix journal could hold for
+        # a running job: error + finished + progress counters all set.
+        with queue._lock, queue._connection:
+            queue._connection.execute(
+                "UPDATE jobs SET error = 'boom', finished = 123.0,"
+                " runs_done = 7, cache_hits = 3 WHERE id = ?",
+                (record.id,),
+            )
+        recovered = queue.recover()
+        assert [job.id for job in recovered] == [record.id]
+        requeued = queue.get(record.id)
+        assert requeued.state == "queued"
+        assert requeued.error is None
+        assert requeued.finished is None
+        assert requeued.started is None
+        assert requeued.runs_done == 0 and requeued.cache_hits == 0
+
 
 # ------------------------------------------------------------------ #
 # Rate limits
@@ -286,6 +333,35 @@ class TestLimits:
         assert limiter.allow("team-b")  # fresh bucket, unaffected
         assert limiter.retry_after("team-a") == pytest.approx(1.0)
         assert limiter.retry_after("team-b") == pytest.approx(1.0)
+
+    def test_retry_after_never_advertises_zero(self):
+        """Regression: ``Retry-After: 0`` invites an immediate-retry loop.
+
+        If the bucket refills between the 429 and the hint probe (or the
+        deficit is sub-second), ``wait_seconds`` is legitimately ~0 —
+        but the header must still clamp to >= 1 second.
+        """
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+        assert limiter.allow("team-a")
+        assert not limiter.allow("team-a")
+        clock.now = 5.0  # refilled before the hint was computed
+        assert limiter._bucket("team-a").wait_seconds() == 0.0
+        assert limiter.retry_after("team-a") == 1.0
+
+    def test_retry_after_subsecond_deficit_rounds_up(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=10.0, burst=1.0, clock=clock)
+        assert limiter.allow("fast-tenant")
+        # Deficit of one token at 10 tokens/s -> 0.1 s raw wait.
+        assert limiter._bucket("fast-tenant").wait_seconds() == pytest.approx(0.1)
+        assert limiter.retry_after("fast-tenant") == 1.0
+
+    def test_retry_after_preserves_long_waits(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=0.25, burst=1.0, clock=clock)
+        assert limiter.allow("slow-tenant")
+        assert limiter.retry_after("slow-tenant") == pytest.approx(4.0)
 
 
 # ------------------------------------------------------------------ #

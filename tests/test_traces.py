@@ -537,6 +537,30 @@ class TestTraceRefs:
         assert len(load_trace_ref(f"trace://{path}")) == 80
         assert len(load_trace_ref(f"trace://{path}#din", limit=10)) == 10
 
+    def test_unregistered_format_is_a_parse_error(self, tmp_path):
+        """``#fmt`` naming no registered reader: TraceParseError (one
+        line, ingest convention), not a bare KeyError/ValueError —
+        regression for refs that named a real file but a bogus format.
+        """
+        path = tmp_path / "t.din"
+        write_trace(path, generate_trace("gcc", 10))
+        ref = f"trace://{path}#nosuch"
+        for probe in (load_trace_ref, trace_ref_fingerprint):
+            with pytest.raises(TraceParseError) as excinfo:
+                probe(ref)
+            message = str(excinfo.value)
+            assert "nosuch" in message and "registered formats" in message
+            assert str(path) in message
+
+    def test_runner_surfaces_unregistered_format(self, tmp_path):
+        path = tmp_path / "t.din"
+        write_trace(path, generate_trace("gcc", 10))
+        ref = f"trace://{path}#nosuch"
+        with pytest.raises(TraceParseError, match="registered formats"):
+            runner.workload_id(ref)
+        with pytest.raises(TraceParseError, match="registered formats"):
+            runner.get_trace(ref, 10)
+
 
 class TestFingerprint:
     def test_tracks_content(self, tmp_path):
