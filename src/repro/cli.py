@@ -1,6 +1,6 @@
 """Command-line entry point: ``repro-experiment``.
 
-Five modes:
+Six modes:
 
 * ``repro-experiment [IDS...] [--jobs N] [--json]`` — regenerate the
   paper's tables/figures, fanning each experiment's run grid over N
@@ -22,6 +22,9 @@ Five modes:
   HTTP/JSON job API with a crash-safe SQLite queue, per-tenant rate
   limits, streaming progress, and reports byte-identical to this CLI's
   ``--json`` output for the same work.
+* ``repro-experiment cache {stats,gc,clear}`` — inspect and manage the
+  shared on-disk caches: per-run results, chunk-report sidecars, and
+  encoded-trace artifacts.
 """
 
 from __future__ import annotations
@@ -87,6 +90,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
@@ -466,6 +471,21 @@ def _print_chunk_report(result) -> None:
     )
 
 
+def _print_artifact_counters() -> None:
+    """Render this process's encoded-trace artifact activity to stderr.
+
+    Stderr keeps ``--json`` stdout byte-identical whether artifacts are
+    hot, cold, or disabled (the acceptance contract CI diffs); the
+    counter line is what the artifact smoke greps to prove a warm run
+    really loaded the artifact instead of re-encoding.
+    """
+    from repro.sim import runner
+
+    stats = runner.artifact_stats()
+    print(f"[artifacts: {stats['loads']} loaded, {stats['stores']} written]",
+          file=sys.stderr)
+
+
 def _trace_run(args) -> int:
     backend = _resolve_backend(args.backend)
     if args.instructions < 0:
@@ -486,6 +506,7 @@ def _trace_run(args) -> int:
         chunk_overlap=args.chunk_overlap, chunk_jobs=args.jobs,
     )
     _print_chunk_report(result)
+    _print_artifact_counters()
     if args.json:
         print(json.dumps(result.to_flat(), indent=2, sort_keys=True))
         return 0
@@ -567,6 +588,10 @@ def serve_main(argv: List[str]) -> int:
                         help="per-tenant burst capacity (default: 20)")
     parser.add_argument("--max-queue", type=int, default=64, metavar="N",
                         help="open-job bound before 503 back-pressure (default: 64)")
+    parser.add_argument("--compact-after", type=float, default=None, metavar="SEC",
+                        dest="compact_after",
+                        help="periodically delete done/failed jobs older than "
+                             "SEC seconds from the journal (default: keep all)")
     args = parser.parse_args(argv)
 
     engine_jobs = args.jobs if args.jobs is not None else default_jobs()
@@ -575,6 +600,10 @@ def serve_main(argv: List[str]) -> int:
         return 2
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.compact_after is not None and args.compact_after < 0:
+        print(f"--compact-after must be >= 0, got {args.compact_after}",
+              file=sys.stderr)
         return 2
     config = ServiceConfig(
         host=args.host,
@@ -586,11 +615,104 @@ def serve_main(argv: List[str]) -> int:
         rate=args.rate,
         burst=args.burst,
         max_queue=args.max_queue,
+        compact_after=args.compact_after,
     )
     try:
         asyncio.run(serve(config))
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def cache_main(argv: List[str]) -> int:
+    """The ``cache`` subcommand: manage the shared on-disk caches."""
+    from repro.sim import runner
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment cache",
+        description=(
+            "Inspect and manage the shared on-disk caches under "
+            "$REPRO_CACHE_DIR (default .repro_cache): per-run results, "
+            "chunk-report sidecars, and encoded-trace artifacts."
+        ),
+    )
+    commands = parser.add_subparsers(dest="action", required=True)
+    stats_parser = commands.add_parser(
+        "stats", help="entry counts and byte totals per cache category")
+    stats_parser.add_argument("--json", action="store_true",
+                              help="emit the stats as JSON")
+    gc_parser = commands.add_parser(
+        "gc", help="delete cache entries older than a cutoff")
+    gc_parser.add_argument("--older-than", type=float, required=True,
+                           metavar="DAYS", dest="older_than",
+                           help="delete entries not modified in the last N days")
+    commands.add_parser("clear", help="delete every cache entry")
+    args = parser.parse_args(argv)
+
+    root = runner.disk_cache_dir()
+    if root is None:
+        print("disk cache disabled (REPRO_DISK_CACHE=0)", file=sys.stderr)
+        return 2
+    if args.action == "stats":
+        return _cache_stats(root, args.json)
+    cutoff = None
+    if args.action == "gc":
+        if args.older_than < 0:
+            print(f"--older-than must be >= 0, got {args.older_than}",
+                  file=sys.stderr)
+            return 2
+        cutoff = time.time() - args.older_than * 86400.0
+    removed = {name: 0 for name in ("results", "chunk_reports", "artifacts")}
+    for category, path in _cache_entries(root):
+        try:
+            if cutoff is not None and path.stat().st_mtime >= cutoff:
+                continue
+            path.unlink()
+            removed[category] += 1
+        except OSError:
+            continue  # racing another process: gc stays best-effort
+    total = sum(removed.values())
+    print(f"removed {total} entries "
+          f"(results: {removed['results']}, "
+          f"chunk reports: {removed['chunk_reports']}, "
+          f"artifacts: {removed['artifacts']})")
+    return 0
+
+
+def _cache_entries(root):
+    """Yield ``(category, path)`` for every managed cache file."""
+    for path in root.glob("*.json"):
+        if path.name.endswith(".chunk.json"):
+            yield "chunk_reports", path
+        else:
+            yield "results", path
+    artifacts = root / "artifacts"
+    if artifacts.is_dir():
+        for path in artifacts.glob("*.etr"):
+            yield "artifacts", path
+
+
+def _cache_stats(root, as_json: bool) -> int:
+    stats = {
+        category: {"files": 0, "bytes": 0}
+        for category in ("results", "chunk_reports", "artifacts")
+    }
+    for category, path in _cache_entries(root):
+        try:
+            size = path.stat().st_size
+        except OSError:
+            continue
+        stats[category]["files"] += 1
+        stats[category]["bytes"] += size
+    document = {"dir": str(root), **stats}
+    if as_json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(f"cache dir: {root}")
+    for category in ("results", "chunk_reports", "artifacts"):
+        entry = stats[category]
+        print(f"  {category.replace('_', ' '):14s} "
+              f"{entry['files']:6d} files  {entry['bytes']:10d} bytes")
     return 0
 
 
@@ -721,6 +843,7 @@ def sweep_main(argv: List[str]) -> int:
     except (ValueError, KeyError) as error:  # bad instructions, engine errors
         print(error, file=sys.stderr)
         return 2
+    _print_artifact_counters()
 
     if args.json:
         document = design_space_document(

@@ -20,7 +20,8 @@ Endpoints:
                         completed run (cache hits included, per-run wall
                         timings), then ``done``/``failed``
 ``GET /healthz``        liveness probe
-``GET /stats``          queue counts, report/run-cache shard occupancy
+``GET /stats``          queue counts, report/run-cache shard occupancy,
+                        encoded-trace artifact cache activity
 ======================  ======================================================
 
 Architecture: submissions land in the SQLite-journaled
@@ -50,6 +51,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.service import jobs as jobs_module
 from repro.service.limits import RateLimiter
+from repro.sim import runner
 from repro.service.protocol import (
     ProtocolError,
     canonical_payload,
@@ -98,6 +100,10 @@ class ServiceConfig:
         max_queue: bound on open (queued + running) jobs; submissions
             beyond it are rejected with 503.
         max_body_bytes: submission body size bound (413 beyond it).
+        compact_after: journal compaction horizon in seconds — terminal
+            (done/failed) jobs older than this are periodically deleted
+            from the queue, with their in-memory event journals pruned
+            alongside.  ``None`` (the default) disables compaction.
     """
 
     host: str = "127.0.0.1"
@@ -110,6 +116,7 @@ class ServiceConfig:
     burst: float = 20.0
     max_queue: int = 64
     max_body_bytes: int = 1_000_000
+    compact_after: Optional[float] = None
 
 
 class SweepService:
@@ -125,6 +132,7 @@ class SweepService:
         self._journals: Dict[str, List[Dict[str, Any]]] = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._workers: List[asyncio.Task] = []
+        self._compactor: Optional[asyncio.Task] = None
         self._wake = asyncio.Event()
 
     # -------------------------------------------------------------- #
@@ -142,19 +150,27 @@ class SweepService:
             asyncio.create_task(self._worker(), name=f"sweep-worker-{index}")
             for index in range(max(1, self.config.workers))
         ]
+        if self.config.compact_after is not None:
+            self._compactor = asyncio.create_task(
+                self._compact_loop(), name="journal-compactor"
+            )
         self._wake.set()  # recovered jobs need no new submission to run
 
     async def stop(self) -> None:
         """Cancel workers and close the socket (running jobs re-queue on
         the next start, exactly like a crash)."""
-        for task in self._workers:
+        tasks = list(self._workers)
+        if self._compactor is not None:
+            tasks.append(self._compactor)
+        for task in tasks:
             task.cancel()
-        for task in self._workers:
+        for task in tasks:
             try:
                 await task
             except asyncio.CancelledError:
                 pass
         self._workers = []
+        self._compactor = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -169,6 +185,24 @@ class SweepService:
     # -------------------------------------------------------------- #
     # Worker tier
     # -------------------------------------------------------------- #
+
+    async def _compact_loop(self) -> None:
+        """Periodically drop terminal journal rows past the horizon.
+
+        Runs at min(horizon, 60 s) so tests (and short horizons) see
+        compaction promptly without the queue churning for long ones.
+        """
+        period = max(0.05, min(self.config.compact_after, 60.0))
+        while True:
+            await asyncio.sleep(period)
+            self.compact_now()
+
+    def compact_now(self) -> List[str]:
+        """One compaction pass: queue rows plus their event journals."""
+        removed = self.queue.compact(self.config.compact_after or 0.0)
+        for job_id in removed:
+            self._journals.pop(job_id, None)
+        return removed
 
     async def _worker(self) -> None:
         while True:
@@ -339,12 +373,14 @@ class SweepService:
             "depth": self.queue.depth(),
             "reports": self.store.shard_counts(),
             "run_cache": cache_stats(),
+            "artifacts": runner.artifact_stats(),
             "config": {
                 "engine_jobs": self.config.engine_jobs,
                 "workers": self.config.workers,
                 "rate": self.config.rate,
                 "burst": self.config.burst,
                 "max_queue": self.config.max_queue,
+                "compact_after": self.config.compact_after,
             },
         }
 

@@ -248,6 +248,35 @@ class JobQueue:
                 )
             return [self._get_locked(row["id"]) for row in rows]
 
+    def compact(self, max_age: float) -> List[str]:
+        """Delete terminal rows older than ``max_age`` seconds.
+
+        Journal compaction: ``done``/``failed`` rows whose ``finished``
+        timestamp is older than the cutoff are removed in one
+        transaction — their reports stay in the sharded store and their
+        runs in the result cache, so compaction never loses work, only
+        queue-status history.  Open (queued/running) jobs are never
+        touched.
+
+        Returns:
+            The removed job ids (the server prunes its in-memory event
+            journals with them).
+        """
+        cutoff = time.time() - max(0.0, max_age)
+        with self._lock, self._connection:
+            rows = self._connection.execute(
+                "SELECT id FROM jobs WHERE state IN ('done', 'failed')"
+                " AND finished IS NOT NULL AND finished < ?",
+                (cutoff,),
+            ).fetchall()
+            removed = [row["id"] for row in rows]
+            if removed:
+                self._connection.executemany(
+                    "DELETE FROM jobs WHERE id = ?",
+                    [(job_id,) for job_id in removed],
+                )
+        return removed
+
     # -------------------------------------------------------------- #
     # Introspection
     # -------------------------------------------------------------- #

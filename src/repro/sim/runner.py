@@ -55,11 +55,12 @@ import json
 import multiprocessing
 import os
 import threading
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from pickle import PicklingError
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.fastsim.missrate import fast_miss_rate, fast_miss_rate_window
 from repro.fastsim.vector import (
@@ -77,21 +78,31 @@ from repro.sim.functional import (
 )
 from repro.sim.results import L1Metrics, SimResult
 from repro.sim.simulator import BACKENDS, Simulator
-from repro.workload.encode import encode_trace
+from repro.workload.artifact import load_artifact, write_artifact
+from repro.workload.encode import (
+    _CACHE_ATTR as _ENCODE_ATTR,
+    ENCODER_VERSION,
+    EncodedTrace,
+    encode_trace,
+)
 from repro.workload.formats import is_trace_ref, load_trace_ref, trace_ref_fingerprint
-from repro.workload.generator import generate_trace
+from repro.workload.generator import GENERATOR_VERSION, generate_trace
 from repro.workload.trace import ChunkPlan, Trace, plan_chunks
 
 __all__ = [
     "BACKENDS",
     "CHUNK_REPORT_ATTR",
     "RUN_MODES",
+    "artifact_dir",
+    "artifact_stats",
     "cache_key",
     "clear_caches",
     "disk_cache_dir",
+    "ensure_artifact",
     "execute",
     "get_trace",
     "load_cached",
+    "reset_artifact_stats",
     "run_benchmark",
     "store_result",
     "workload_id",
@@ -124,7 +135,22 @@ _WARMUP_FRACTION = 0.2
 CHUNK_REPORT_ATTR = "chunk_report"
 
 _RESULT_CACHE: Dict[str, SimResult] = {}
-_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+
+#: Traces (and, via their on-object memos, encodings) kept in memory,
+#: in LRU order.  Bounded: a long-lived service process would otherwise
+#: pin every distinct trace+limit's full trace and flat arrays forever.
+#: Eviction is safe — regeneration/re-ingest is pure, and the persisted
+#: artifact makes a re-encode after eviction cheap.
+_TRACE_CACHE: "OrderedDict[Tuple[str, int, int], Trace]" = OrderedDict()
+
+
+def _trace_cache_capacity() -> int:
+    """Max traces kept in memory (``REPRO_TRACE_CACHE``, default 16)."""
+    try:
+        capacity = int(os.environ.get("REPRO_TRACE_CACHE", "16"))
+    except ValueError:
+        return 16
+    return max(1, capacity)
 
 #: Flat keys a cached JSON blob must carry to round-trip losslessly.
 _RESULT_FIELDS = SimResult.flat_field_names()
@@ -174,6 +200,192 @@ def workload_id(benchmark: str) -> str:
     if is_trace_ref(benchmark):
         return f"{benchmark}@{trace_ref_fingerprint(benchmark)}"
     return benchmark
+
+
+# ------------------------------------------------------------------ #
+# Encoded-trace artifacts (persistent, mmap-shared across workers)
+# ------------------------------------------------------------------ #
+
+#: Attribute carrying a trace's artifact cache key on the trace object.
+_ARTIFACT_KEY_ATTR = "_artifact_key"
+
+#: Per-process counters behind :func:`artifact_stats` (and the CLI's
+#: ``[artifacts: N loaded, M written]`` stderr line).
+_ARTIFACT_COUNTS = {"loads": 0, "stores": 0}
+_ARTIFACT_LOCK = threading.Lock()
+
+#: Section names known to be on disk per artifact key (from a load or a
+#: publish this process performed) — a publish whose sections add
+#: nothing over this set is skipped.
+_ARTIFACT_ON_DISK: Dict[str, FrozenSet[str]] = {}
+
+#: Keys whose exports failed value-range checks: never retried.
+_ARTIFACT_UNCACHEABLE: set = set()
+
+
+def artifact_dir() -> Optional[Path]:
+    """The encoded-trace artifact directory, or ``None`` when disabled.
+
+    Lives beside the run cache (``<cache>/artifacts``), so it inherits
+    the run cache's switches: ``REPRO_DISK_CACHE=0`` or an unwritable
+    ``REPRO_CACHE_DIR`` disables it too.  ``REPRO_NO_ARTIFACTS=1``
+    disables artifacts alone, leaving result caching on — the knob the
+    byte-identity CI diffs flip.
+    """
+    if os.environ.get("REPRO_NO_ARTIFACTS", "0") == "1":
+        return None
+    root = disk_cache_dir()
+    if root is None:
+        return None
+    path = root / "artifacts"
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    return path
+
+
+def _artifact_key(benchmark: str, instructions: int, salt: int) -> str:
+    """Stable identity of one workload's encoding.
+
+    ``workload_id`` already folds a ``trace://`` file's content
+    fingerprint (bytes + reader format/version) into the name; the
+    generator and encoder versions cover the two remaining ways the
+    flat arrays could change meaning without the inputs changing.
+    """
+    payload = (
+        f"{workload_id(benchmark)}|{instructions}|{salt}"
+        f"|gen=v{GENERATOR_VERSION}|enc=v{ENCODER_VERSION}"
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _section_names(encoded: EncodedTrace) -> FrozenSet[str]:
+    """Sections an export of ``encoded`` would contain, without
+    materializing any payload."""
+    from repro.workload.artifact import INSTR_SECTIONS
+
+    names = {"addrs", "is_load"}
+    names.update(f"blocks:{bits}" for bits in encoded._block_cache)
+    names.update(f"blocks:{key[1]}" for key in encoded._np_cache if key[0] == "blocks")
+    if encoded._artifact is not None:
+        names.update(encoded._artifact.section_names())
+    if encoded.ops is not None:
+        names.update(name for name, _dtype in INSTR_SECTIONS)
+    return frozenset(names)
+
+
+def _attach_artifact(trace: Trace, key: str) -> None:
+    """Hook a freshly memoized trace up to the artifact cache.
+
+    Always stamps the key (so a later publish knows where to write);
+    when a valid artifact already exists on disk, pre-seeds the trace's
+    encoding memo with an artifact-backed :class:`EncodedTrace`, so the
+    fast/vector tiers skip the encode pass entirely and numpy views
+    alias the mapped pages.
+    """
+    setattr(trace, _ARTIFACT_KEY_ATTR, key)
+    directory = artifact_dir()
+    if directory is None:
+        return
+    artifact = load_artifact(directory / f"{key}.etr")
+    if artifact is None:
+        return
+    setattr(trace, _ENCODE_ATTR, EncodedTrace.from_artifact(artifact))
+    with _ARTIFACT_LOCK:
+        _ARTIFACT_COUNTS["loads"] += 1
+        _ARTIFACT_ON_DISK[key] = frozenset(artifact.section_names())
+
+
+def _publish_artifact(trace: Trace) -> None:
+    """Persist whatever ``trace``'s encoding has built (best-effort).
+
+    No-op when artifacts are disabled, when nothing was encoded (the
+    reference tier never encodes), or when everything built is already
+    on disk.  A re-publish after new sections appear (e.g. a full-sim
+    run adding instruction arrays to a mem-stream-only artifact)
+    rewrites the file with the union — artifact-resident sections pass
+    through as mapped bytes, so upgrades never re-read the source.
+    """
+    directory = artifact_dir()
+    if directory is None:
+        return
+    key = getattr(trace, _ARTIFACT_KEY_ATTR, None)
+    encoded = getattr(trace, _ENCODE_ATTR, None)
+    if key is None or encoded is None or key in _ARTIFACT_UNCACHEABLE:
+        return
+    names = _section_names(encoded)
+    if names <= _ARTIFACT_ON_DISK.get(key, frozenset()):
+        return
+    try:
+        sections = encoded.export_sections()
+    except (OverflowError, ValueError, TypeError):
+        # A source value out of range for its on-disk dtype: this
+        # workload is un-cacheable, permanently.
+        _ARTIFACT_UNCACHEABLE.add(key)
+        return
+    if write_artifact(
+        directory / f"{key}.etr", encoded.name, encoded.instructions, sections
+    ):
+        with _ARTIFACT_LOCK:
+            _ARTIFACT_COUNTS["stores"] += 1
+            _ARTIFACT_ON_DISK[key] = frozenset(sections)
+
+
+def ensure_artifact(
+    benchmark: str, instructions: int, salt: int = 0, mode: str = "missrate"
+) -> Optional[Path]:
+    """Build-or-load the workload's artifact now; return its path.
+
+    The sweep engine calls this in the parent before fanning a pool
+    out, so every worker process (and, under chunked replay, every
+    chunk worker) opens the finished artifact instead of re-parsing and
+    re-encoding.  ``mode="sim"`` additionally persists the full
+    instruction arrays; for an artifact-backed encoding both forces are
+    O(1), so re-ensuring is free.
+    """
+    directory = artifact_dir()
+    if directory is None:
+        return None
+    trace = get_trace(benchmark, instructions, salt)
+    encoded = encode_trace(trace)
+    if mode == "sim":
+        encoded.ensure_instr_arrays(trace)
+    len(encoded)  # force the mem stream (no-op when artifact-backed)
+    _publish_artifact(trace)
+    key = getattr(trace, _ARTIFACT_KEY_ATTR, None)
+    if key is None:  # pragma: no cover - get_trace always stamps it
+        return None
+    path = directory / f"{key}.etr"
+    return path if path.exists() else None
+
+
+def artifact_stats() -> Dict[str, int]:
+    """Artifact cache activity and footprint (for ``/stats`` and CLI).
+
+    ``loads``/``stores`` count this process's artifact opens and
+    publishes; ``files``/``bytes`` scan the shared directory.
+    """
+    with _ARTIFACT_LOCK:
+        stats = dict(_ARTIFACT_COUNTS)
+    stats["files"] = 0
+    stats["bytes"] = 0
+    directory = artifact_dir()
+    if directory is not None:
+        for path in directory.glob("*.etr"):
+            try:
+                stats["bytes"] += path.stat().st_size
+                stats["files"] += 1
+            except OSError:  # pragma: no cover - racing a concurrent gc
+                continue
+    return stats
+
+
+def reset_artifact_stats() -> None:
+    """Zero the per-process load/store counters (tests, CLI runs)."""
+    with _ARTIFACT_LOCK:
+        _ARTIFACT_COUNTS["loads"] = 0
+        _ARTIFACT_COUNTS["stores"] = 0
 
 
 def _validate_chunking(mode: str, chunks: int, chunk_overlap: Optional[int]) -> None:
@@ -347,14 +559,30 @@ def get_trace(benchmark: str, instructions: int, salt: int = 0) -> Trace:
             trace = load_trace_ref(
                 benchmark, limit=instructions if instructions > 0 else None
             )
-            _TRACE_CACHE[key] = trace
+            _attach_artifact(trace, _artifact_key(benchmark, instructions, salt))
+            _trace_cache_put(key, trace)
+        else:
+            _TRACE_CACHE.move_to_end(key)
         return trace
     key = (benchmark, instructions, salt)
     trace = _TRACE_CACHE.get(key)
     if trace is None:
         trace = generate_trace(benchmark, instructions, salt)
-        _TRACE_CACHE[key] = trace
+        _attach_artifact(trace, _artifact_key(benchmark, instructions, salt))
+        _trace_cache_put(key, trace)
+    else:
+        _TRACE_CACHE.move_to_end(key)
     return trace
+
+
+def _trace_cache_put(key: Tuple[str, int, int], trace: Trace) -> None:
+    """Insert into the trace memo, evicting least-recently-used
+    entries past the capacity bound."""
+    _TRACE_CACHE[key] = trace
+    _TRACE_CACHE.move_to_end(key)
+    capacity = _trace_cache_capacity()
+    while len(_TRACE_CACHE) > capacity:
+        _TRACE_CACHE.popitem(last=False)
 
 
 # ------------------------------------------------------------------ #
@@ -474,6 +702,12 @@ def _run_windows(
     """
     jobs = max(1, min(chunk_jobs, len(windows)))
     if jobs > 1:
+        if tier != "reference":
+            # The encoded stream already exists (the chunk planner
+            # measured it), so publishing is pure serialization: chunk
+            # workers mmap this artifact instead of re-encoding — and
+            # under spawn, instead of re-parsing the file.
+            _publish_artifact(trace)
         payloads = [
             (benchmark, config, instructions, salt, tier,
              replay_start, count_start, end)
@@ -680,6 +914,17 @@ def run_benchmark(
             benchmark, config, instructions, result, salt, mode, backend,
             chunks, chunk_overlap,
         )
+    # Persist whatever the run just encoded, independent of the result
+    # caches (`use_cache=False` governs result reuse, not derived
+    # state): the next process — pool worker, chunk worker, service
+    # restart — maps it instead of re-encoding.  The reference tier
+    # never encodes, so this is a no-op there.
+    trace = _TRACE_CACHE.get(
+        (workload_id(benchmark) if is_trace_ref(benchmark) else benchmark,
+         instructions, salt)
+    )
+    if trace is not None:
+        _publish_artifact(trace)
     return result
 
 
@@ -687,10 +932,19 @@ def clear_caches(disk: bool = False) -> None:
     """Drop memoized traces/results (tests use this for isolation)."""
     _RESULT_CACHE.clear()
     _TRACE_CACHE.clear()
+    _ARTIFACT_ON_DISK.clear()
+    _ARTIFACT_UNCACHEABLE.clear()
     if disk:
         directory = _disk_cache_dir()
         if directory is not None:
             for path in directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        artifacts = artifact_dir()
+        if artifacts is not None:
+            for path in artifacts.glob("*.etr"):
                 try:
                     path.unlink()
                 except OSError:

@@ -217,11 +217,27 @@ class SweepEngine:
         # by every config that runs the same application.  Under spawn
         # (macOS/Windows) workers inherit nothing, so skip the serial
         # parent phase and let each worker build its own traces.
-        if multiprocessing.get_start_method() == "fork":
-            for benchmark, instructions, salt in dict.fromkeys(
-                (run.benchmark, run.instructions, run.salt) for run in pending
-            ):
+        fork = multiprocessing.get_start_method() == "fork"
+        workload_runs: "dict" = {}
+        for run in pending:
+            workload_runs.setdefault(
+                (run.benchmark, run.instructions, run.salt), []
+            ).append(run)
+        for (benchmark, instructions, salt), workload in workload_runs.items():
+            if fork:
                 runner.get_trace(benchmark, instructions, salt)
+            # Publish the encoded-trace artifact before fanning out:
+            # every worker — forked or spawned — then mmaps the one
+            # on-disk encoding instead of re-encoding (or, for spawn,
+            # re-parsing) privately.  The reference tier never encodes,
+            # so reference-only workloads skip this.
+            accelerated = [r for r in workload if r.backend != "reference"]
+            if accelerated:
+                runner.ensure_artifact(
+                    benchmark, instructions, salt,
+                    mode="sim" if any(r.mode == "sim" for r in accelerated)
+                    else "missrate",
+                )
         # Dispatch grouped by benchmark so that on spawn-based platforms
         # (no inherited memo) each worker still reuses its own traces.
         ordered = sorted(

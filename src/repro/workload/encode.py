@@ -48,8 +48,9 @@ read-only so the memos cannot be corrupted through an aliased array.
 
 from __future__ import annotations
 
+import sys
 from array import array
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.utils.bitops import AddressFields, bit_mask
 from repro.workload.instr import OP_LOAD, OP_STORE
@@ -62,6 +63,18 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
 
 #: Attribute used to memoize the encoding on the trace object.
 _CACHE_ATTR = "_fastsim_encoded"
+
+#: Version of the encoding itself — what the flat arrays *mean*.  Baked
+#: into every persisted artifact (:mod:`repro.workload.artifact`): bump
+#: it whenever array semantics change (new op kinds, different decode
+#: rules) so stale artifacts are silently re-encoded, never mis-read.
+ENCODER_VERSION = 1
+
+#: Artifact payloads are little-endian on disk; on a little-endian host
+#: (every CI leg) they alias memory directly, so numpy views over a
+#: mapped artifact are zero-copy.  Big-endian hosts take the lossless
+#: byteswapping ``array.array`` path instead.
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 
 class EncodedTrace:
@@ -100,6 +113,7 @@ class EncodedTrace:
         "targets",
         "xors",
         "_iblock_cache",
+        "_artifact",
     )
 
     def __init__(self, trace: Trace) -> None:
@@ -130,6 +144,40 @@ class EncodedTrace:
         self.targets: Optional[List[int]] = None
         self.xors: Optional[List[int]] = None
         self._iblock_cache: Dict[int, List[int]] = {}
+        # A loaded on-disk artifact backing this encoding, or None.
+        # Sections restore lazily from it instead of re-reading the
+        # source trace; numpy views alias its mapped pages zero-copy.
+        self._artifact = None
+
+    @classmethod
+    def from_artifact(cls, artifact) -> "EncodedTrace":
+        """An encoding backed by a loaded on-disk artifact.
+
+        Nothing is materialized here: every accessor restores (or, for
+        the numpy views, *aliases*) the artifact's sections on first
+        use, so N workers mapping one artifact share one set of OS
+        page-cache pages instead of N private heaps.
+        """
+        encoded = cls.__new__(cls)
+        encoded.name = artifact.name
+        encoded._source = None
+        encoded._instructions = artifact.instructions
+        encoded._addrs = None
+        encoded._is_load = None
+        encoded._block_cache = {}
+        encoded._np_cache = {}
+        encoded.ops = None
+        encoded.pcs = None
+        encoded.dsts = None
+        encoded.src1s = None
+        encoded.src2s = None
+        encoded.daddrs = None
+        encoded.takens = None
+        encoded.targets = None
+        encoded.xors = None
+        encoded._iblock_cache = {}
+        encoded._artifact = artifact
+        return encoded
 
     # -------------------------------------------------------------- #
     # Memory-op stream
@@ -139,6 +187,18 @@ class EncodedTrace:
         """Build ``addrs``/``is_load`` once, without re-reading the
         source when the instruction arrays already hold everything."""
         if self._addrs is not None:
+            return
+        if self._artifact is not None and self._artifact.has("addrs"):
+            # Lossless pure-python restore (`array.array.frombytes`) —
+            # the one copy the python kernels pay; the numpy accessors
+            # below never come through here for an artifact-backed
+            # encoding, they alias the mapped buffer directly.
+            from repro.workload import artifact as _afmt
+
+            self._addrs = _afmt.bytes_to_array(self._artifact.section("addrs"), "Q")
+            self._is_load = _afmt.bytes_to_array(
+                self._artifact.section("is_load"), "b"
+            )
             return
         # Unsigned 64-bit arrays: compact, C-backed storage with
         # plain-int element access covering the full address space
@@ -193,6 +253,9 @@ class EncodedTrace:
 
     def __len__(self) -> int:
         """Number of memory operations (not instructions)."""
+        if self._addrs is None and self._artifact is not None:
+            if self._artifact.has("addrs"):
+                return self._artifact.count("addrs")
         return len(self.addrs)
 
     def blocks(self, fields: AddressFields) -> List[int]:
@@ -205,7 +268,15 @@ class EncodedTrace:
         """
         blocks = self._block_cache.get(fields.offset_bits)
         if blocks is None:
-            blocks = fields.decode_blocks(self.addrs)
+            section = f"blocks:{fields.offset_bits}"
+            if self._artifact is not None and self._artifact.has(section):
+                from repro.workload import artifact as _afmt
+
+                blocks = _afmt.bytes_to_array(
+                    self._artifact.section(section), "Q"
+                ).tolist()
+            else:
+                blocks = fields.decode_blocks(self.addrs)
             self._block_cache[fields.offset_bits] = blocks
         return blocks
 
@@ -221,6 +292,24 @@ class EncodedTrace:
                 "(install the [vector] extra or use the python tiers)"
             )
 
+    def _mem_buffer(self, name: str):
+        """The raw buffer behind ``addrs``/``is_load`` for numpy views.
+
+        Artifact-backed encodings hand out the mapped section directly
+        (zero-copy: the view aliases the artifact's OS page-cache
+        pages); otherwise the chunk-built ``array`` storage is the
+        buffer, exactly as before.
+        """
+        if (
+            self._addrs is None
+            and self._artifact is not None
+            and self._artifact.has(name)
+            and _LITTLE_ENDIAN
+        ):
+            return self._artifact.section(name)
+        self._ensure_mem_arrays()
+        return self._addrs if name == "addrs" else self._is_load
+
     def addrs_np(self):
         """Zero-copy read-only ``uint64`` view of :attr:`addrs`.
 
@@ -233,7 +322,7 @@ class EncodedTrace:
         self._require_numpy()
         view = self._np_cache.get(("addrs",))
         if view is None:
-            view = _np.frombuffer(self.addrs, dtype=_np.uint64)
+            view = _np.frombuffer(self._mem_buffer("addrs"), dtype=_np.uint64)
             view.flags.writeable = False
             self._np_cache[("addrs",)] = view
         return view
@@ -247,7 +336,9 @@ class EncodedTrace:
         self._require_numpy()
         view = self._np_cache.get(("is_load",))
         if view is None:
-            view = _np.frombuffer(self.is_load, dtype=_np.int8).view(_np.bool_)
+            view = _np.frombuffer(
+                self._mem_buffer("is_load"), dtype=_np.int8
+            ).view(_np.bool_)
             view.flags.writeable = False
             self._np_cache[("is_load",)] = view
         return view
@@ -266,8 +357,18 @@ class EncodedTrace:
         key = ("blocks", fields.offset_bits)
         blocks = self._np_cache.get(key)
         if blocks is None:
-            blocks = self.addrs_np() >> _np.uint64(fields.offset_bits)
-            blocks.flags.writeable = False
+            section = f"blocks:{fields.offset_bits}"
+            if (
+                self._artifact is not None
+                and self._artifact.has(section)
+                and _LITTLE_ENDIAN
+            ):
+                blocks = _np.frombuffer(
+                    self._artifact.section(section), dtype=_np.uint64
+                )
+            else:
+                blocks = self.addrs_np() >> _np.uint64(fields.offset_bits)
+                blocks.flags.writeable = False
             self._np_cache[key] = blocks
         return blocks
 
@@ -323,6 +424,9 @@ class EncodedTrace:
         """
         if self.ops is not None:
             return
+        if self._artifact is not None and self._artifact.has("ops"):
+            self._restore_instr_arrays()
+            return
         ops: List[int] = []
         pcs: List[int] = []
         dsts: List[int] = []
@@ -354,6 +458,84 @@ class EncodedTrace:
         self.xors = xors
         self._instructions = len(ops)
         self._source = None
+
+    def _restore_instr_arrays(self) -> None:
+        """Materialize the nine per-instruction lists from the backing
+        artifact — no trace re-read, no parse."""
+        from repro.workload import artifact as _afmt
+
+        art = self._artifact
+        restored = {
+            name: _afmt.bytes_to_array(art.section(name), dtype).tolist()
+            for name, dtype in _afmt.INSTR_SECTIONS
+        }
+        self.ops = restored["ops"]
+        self.pcs = restored["pcs"]
+        self.dsts = restored["dsts"]
+        self.src1s = restored["src1s"]
+        self.src2s = restored["src2s"]
+        self.daddrs = restored["daddrs"]
+        # The live encoding stores genuine bools (the fast core branches
+        # on them); the artifact stores int8, so convert back.
+        self.takens = [value != 0 for value in restored["takens"]]
+        self.targets = restored["targets"]
+        self.xors = restored["xors"]
+        self._instructions = art.count("ops")
+
+    def export_sections(self) -> Dict[str, Tuple[str, bytes]]:
+        """Everything persistable as section name -> (dtype, payload).
+
+        The memory-op stream is always included (building it from
+        already-built instruction arrays is cheap, and it is the one
+        stream every tier consumes); block decodes and instruction
+        arrays are included only when this encoding built them —
+        sections resident in a backing artifact pass through as raw
+        mapped bytes without materializing.
+
+        Raises:
+            OverflowError/ValueError/TypeError: a source value out of
+                range for its on-disk dtype (e.g. a plugin reader
+                yielding out-of-range register ids) — callers treat the
+                workload as un-cacheable and skip persisting.
+        """
+        from repro.workload import artifact as _afmt
+
+        sections: Dict[str, Tuple[str, bytes]] = {}
+        art = self._artifact
+        if self._addrs is None and art is not None and art.has("addrs"):
+            sections["addrs"] = ("Q", art.section("addrs"))
+            sections["is_load"] = ("b", art.section("is_load"))
+        else:
+            self._ensure_mem_arrays()
+            sections["addrs"] = ("Q", _afmt.list_to_bytes(self._addrs, "Q"))
+            sections["is_load"] = ("b", _afmt.list_to_bytes(self._is_load, "b"))
+        for offset_bits, block_list in self._block_cache.items():
+            sections[f"blocks:{offset_bits}"] = (
+                "Q", _afmt.list_to_bytes(block_list, "Q"),
+            )
+        for key, view in self._np_cache.items():
+            if key[0] != "blocks":
+                continue
+            name = f"blocks:{key[1]}"
+            if name in sections:
+                continue
+            if _LITTLE_ENDIAN:
+                sections[name] = ("Q", view.tobytes())
+            else:  # pragma: no cover - no big-endian CI leg
+                sections[name] = ("Q", _afmt.list_to_bytes(view.tolist(), "Q"))
+        if art is not None:
+            for name in art.section_names():
+                if name.startswith("blocks:") and name not in sections:
+                    sections[name] = ("Q", art.section(name))
+        if self.ops is not None:
+            for name, dtype in _afmt.INSTR_SECTIONS:
+                sections[name] = (
+                    dtype, _afmt.list_to_bytes(getattr(self, name), dtype),
+                )
+        elif art is not None and art.has("ops"):
+            for name, dtype in _afmt.INSTR_SECTIONS:
+                sections[name] = (dtype, art.section(name))
+        return sections
 
     def iblocks(self, offset_bits: int) -> List[int]:
         """Per-instruction i-cache block indices, memoized per shift.

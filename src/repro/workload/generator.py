@@ -44,6 +44,13 @@ from repro.workload.streams import (
 )
 from repro.workload.trace import Trace
 
+#: Version of the synthesis pipeline as cache keys see it.  Generation
+#: is pure, so (benchmark, instructions, salt) identifies a synthetic
+#: trace *for one version of this module* — bump on any change to the
+#: generated streams so persisted encoded-trace artifacts keyed on the
+#: old behavior are never served for the new one.
+GENERATOR_VERSION = 1
+
 #: log2 of the block size used for XOR-handle construction.
 _BLOCK_SHIFT = 5
 

@@ -357,3 +357,81 @@ def test_trace_report_rejects_bad_instructions(trace_file, capsys):
 def test_trace_run_rejects_negative_instructions(trace_file, capsys):
     assert main(["trace", "run", str(trace_file), "--instructions", "-100"]) == 2
     assert "--instructions" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------------ #
+# cache subcommand
+# ------------------------------------------------------------------ #
+
+
+def test_cache_stats_empty(capsys):
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "results" in out and "artifacts" in out and "chunk reports" in out
+
+
+def test_cache_lifecycle_stats_gc_clear(trace_file, capsys):
+    from repro.sim import runner
+
+    runner.clear_caches()
+    assert main(["trace", "run", str(trace_file), "--mode", "missrate",
+                 "--backend", "fast"]) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "stats", "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["results"]["files"] == 1
+    assert stats["artifacts"]["files"] == 1
+    assert stats["artifacts"]["bytes"] > 0
+
+    # Nothing is a month old yet.
+    assert main(["cache", "gc", "--older-than", "30"]) == 0
+    assert "removed 0 entries" in capsys.readouterr().out
+
+    assert main(["cache", "clear"]) == 0
+    out = capsys.readouterr().out
+    assert "results: 1" in out and "artifacts: 1" in out
+
+    assert main(["cache", "stats", "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert all(stats[key]["files"] == 0
+               for key in ("results", "chunk_reports", "artifacts"))
+
+
+def test_cache_disabled_exits_two(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+    assert main(["cache", "stats"]) == 2
+    assert "disk cache disabled" in capsys.readouterr().err
+
+
+def test_cache_gc_rejects_negative_age(capsys):
+    assert main(["cache", "gc", "--older-than", "-1"]) == 2
+    assert "--older-than" in capsys.readouterr().err
+
+
+def test_serve_rejects_negative_compact_after(capsys):
+    from repro.cli import serve_main
+
+    assert serve_main(["--compact-after", "-1"]) == 2
+    assert "--compact-after" in capsys.readouterr().err
+
+
+def test_artifact_counters_on_stderr(trace_file, capsys):
+    """Cold run writes one artifact, a fresh process-life loads it; the
+    counters land on stderr so --json stdout stays byte-identical."""
+    from repro.sim import runner
+
+    runner.clear_caches()
+    runner.reset_artifact_stats()
+    assert main(["trace", "run", str(trace_file), "--mode", "missrate",
+                 "--backend", "fast", "--no-cache", "--json"]) == 0
+    cold = capsys.readouterr()
+    assert "[artifacts: 0 loaded, 1 written]" in cold.err
+
+    runner.clear_caches()
+    runner.reset_artifact_stats()
+    assert main(["trace", "run", str(trace_file), "--mode", "missrate",
+                 "--backend", "fast", "--no-cache", "--json"]) == 0
+    warm = capsys.readouterr()
+    assert "[artifacts: 1 loaded, 0 written]" in warm.err
+    assert warm.out == cold.out

@@ -283,6 +283,42 @@ class TestJobQueue:
         assert requeued.started is None
         assert requeued.runs_done == 0 and requeued.cache_hits == 0
 
+    def test_compact_removes_only_stale_terminal_rows(self, tmp_path):
+        queue = JobQueue(tmp_path / "jobs.sqlite")
+        done, _ = queue.submit(FP_A, "sweep", {})
+        queue.claim()
+        queue.finish(done.id, 1, 0)
+        queue.submit(FP_B, "sweep", {})  # still queued: never compacted
+
+        # Fresh terminal rows survive a generous cutoff...
+        assert queue.compact(3600.0) == []
+        # ...and fall to an immediate one.
+        assert queue.compact(0.0) == [done.id]
+        assert queue.get(done.id) is None
+        assert queue.counts() == {"queued": 1, "running": 0, "done": 0,
+                                  "failed": 0}
+
+    def test_compact_takes_failed_rows_and_spares_running(self, tmp_path):
+        queue = JobQueue(tmp_path / "jobs.sqlite")
+        failed, _ = queue.submit(FP_A, "sweep", {})
+        queue.claim()
+        queue.fail(failed.id, "boom")
+        queue.submit(FP_B, "sweep", {})
+        queue.claim()  # FP_B now running
+
+        assert queue.compact(0.0) == [failed.id]
+        assert queue.get(FP_B[:ID_LENGTH]).state == "running"
+        # A compacted fingerprint can be submitted anew.
+        resubmitted, created = queue.submit(FP_A, "sweep", {})
+        assert created and resubmitted.state == "queued"
+
+    def test_compact_negative_age_behaves_like_zero(self, tmp_path):
+        queue = JobQueue(tmp_path / "jobs.sqlite")
+        record, _ = queue.submit(FP_A, "sweep", {})
+        queue.claim()
+        queue.finish(record.id, 1, 0)
+        assert queue.compact(-5.0) == [record.id]
+
 
 # ------------------------------------------------------------------ #
 # Rate limits

@@ -120,6 +120,41 @@ class TestHappyPath:
         assert stats["queue"]["done"] == 1
         assert sum(stats["reports"].values()) == 1
         assert stats["run_cache"]["entries"] == 2  # point + baseline runs
+        assert set(stats["artifacts"]) == {"loads", "stores", "files", "bytes"}
+        assert stats["config"]["compact_after"] is None
+
+
+class TestCompaction:
+    def test_periodic_compaction_drops_finished_jobs(self, tmp_path,
+                                                     isolated_cache):
+        config = service_config(tmp_path, compact_after=0.2)
+        with ServiceThread(config) as handle:
+            client = ServiceClient(port=handle.port)
+            job = client.submit(SMALL_SWEEP)["job"]
+            job_id, fingerprint = job["id"], job["fingerprint"]
+            client.wait(job_id, timeout=120)
+            assert wait_until(
+                lambda: client.jobs()["jobs"] == [], timeout=30.0
+            ), "compactor never removed the finished job"
+            with pytest.raises(ServiceError) as caught:
+                client.job(job_id)
+            assert caught.value.status == 404
+            # Compaction drops queue history only: the report survives
+            # in the sharded store and the runs in the result cache.
+            assert handle.service.store.get(fingerprint) is not None
+            assert client.stats()["config"]["compact_after"] == 0.2
+
+    def test_compact_now_prunes_journals_with_rows(self, tmp_path,
+                                                   isolated_cache):
+        with ServiceThread(service_config(tmp_path)) as handle:
+            client = ServiceClient(port=handle.port)
+            job_id = client.submit(SMALL_SWEEP)["job"]["id"]
+            client.wait(job_id, timeout=120)
+            assert job_id in handle.service._journals
+            # No horizon configured: compact_now treats it as "now".
+            assert handle.service.compact_now() == [job_id]
+            assert job_id not in handle.service._journals
+            assert client.jobs()["jobs"] == []
 
 
 class TestErrorPaths:
