@@ -68,6 +68,24 @@ class CacheGeometry:
         """Width of the stored tag in bits."""
         return self.address_bits - self.fields.index_bits - self.fields.offset_bits
 
+    def resized(self, size_bytes: int) -> "CacheGeometry":
+        """This geometry at a different capacity (same assoc/block/width).
+
+        The canonical DRI-style resizing step: doubling or halving
+        ``size_bytes`` changes only the number of sets, so the block
+        decomposition stays stable and runtime reconfiguration
+        (:meth:`repro.cache.sram.SetAssociativeCache.reconfigure`) is
+        legal on every backend tier.  Construction validation applies:
+        the new capacity must be a power of two holding at least one
+        set.
+        """
+        return CacheGeometry(
+            size_bytes=size_bytes,
+            associativity=self.associativity,
+            block_bytes=self.block_bytes,
+            address_bits=self.address_bits,
+        )
+
     def describe(self) -> str:
         """Human-readable one-line description, e.g. ``16K 4-way 32B``."""
         kib = self.size_bytes // 1024

@@ -98,17 +98,53 @@ class SetAssociativeCache:
         self.fields = geometry.fields
         self.name = name or geometry.describe()
         self.replacement_name = replacement
+        self.sets = self._build_sets(geometry, replacement)
+
+    @staticmethod
+    def _build_sets(geometry: CacheGeometry, replacement: str) -> List[CacheSet]:
         if geometry.num_sets >= _LAZY_SETS_THRESHOLD:
-            self.sets: List[CacheSet] = _LazySets(
-                geometry.num_sets, geometry.associativity, replacement
+            return _LazySets(geometry.num_sets, geometry.associativity, replacement)
+        return [
+            CacheSet(
+                geometry.associativity, make_replacement(replacement, geometry.associativity)
             )
-        else:
-            self.sets = [
-                CacheSet(
-                    geometry.associativity, make_replacement(replacement, geometry.associativity)
-                )
-                for _ in range(geometry.num_sets)
-            ]
+            for _ in range(geometry.num_sets)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Runtime reconfiguration
+    # ------------------------------------------------------------------ #
+
+    def reconfigure(self, new_geometry: CacheGeometry) -> List[int]:
+        """Flush the array and rebuild it with ``new_geometry``.
+
+        Invalidate-all semantics (see :mod:`repro.core.interval`): every
+        resident block is dropped and replacement state restarts fresh,
+        exactly as if the array had just been constructed — the property
+        that keeps runtime resizing byte-identical across backend tiers.
+        Statistics live above this layer and are untouched.
+
+        Returns:
+            Block addresses of the *dirty* blocks that were dropped, in
+            deterministic (set-major, way-minor) order, so callers
+            modeling a writeback path can forward them to the next
+            level before they are lost.
+        """
+        dirty: List[int] = []
+        raw = self.sets
+        for position in range(len(raw)):
+            # Peek without materializing lazily-built sets: a set that
+            # was never touched holds nothing to flush.
+            cache_set = list.__getitem__(raw, position)
+            if cache_set is None:
+                continue
+            for block in cache_set.ways:
+                if block.valid and block.dirty:
+                    dirty.append(block.block_addr)
+        self.geometry = new_geometry
+        self.fields = new_geometry.fields
+        self.sets = self._build_sets(new_geometry, self.replacement_name)
+        return dirty
 
     # ------------------------------------------------------------------ #
     # Lookup

@@ -132,6 +132,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             "Default: $REPRO_BACKEND or reference"
         ),
     )
+    parser.add_argument(
+        "--interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "dynamic-policy tick period in cycles for experiments that "
+            "run dynamic policies (default: $REPRO_INTERVAL or each "
+            "experiment's own default)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -148,6 +159,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     settings = settings_from_env()
     if args.backend is not None:
         settings = replace(settings, backend=args.backend)
+    if args.interval is not None:
+        if args.interval < 0:
+            print(f"--interval must be >= 0, got {args.interval}", file=sys.stderr)
+            return 2
+        settings = replace(settings, interval=args.interval)
     if settings.backend not in BACKENDS:  # bad $REPRO_BACKEND
         print(
             f"unknown backend {settings.backend!r}; valid: {BACKENDS}",
@@ -205,6 +221,7 @@ def policies_main(argv: List[str]) -> int:
                 "side": info.side,
                 "label": info.label,
                 "params": info.defaults(),
+                "dynamic": info.dynamic,
                 "description": info.description,
             }
             for info in infos
@@ -219,7 +236,8 @@ def policies_main(argv: List[str]) -> int:
         print(f"{side} policies:")
         for info in rows:
             params = ", ".join(f"{k}={v}" for k, v in info.params) or "-"
-            print(f"  {info.kind:18s} {info.label:24s} [{params}]")
+            dynamic = "dynamic" if info.dynamic else "static"
+            print(f"  {info.kind:18s} {info.label:24s} {dynamic:8s} [{params}]")
             if info.description:
                 print(f"  {'':18s} {info.description}")
         print()
@@ -325,6 +343,13 @@ def trace_main(argv: List[str]) -> int:
     run_parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for chunk fan-out within this run (default: 1)",
+    )
+    run_parser.add_argument(
+        "--interval", type=int, default=0, metavar="N",
+        help=(
+            "dynamic-policy tick period (accesses in missrate mode, "
+            "cycles in sim mode; 0 = no ticks; incompatible with --chunks)"
+        ),
     )
 
     report_parser = commands.add_parser(
@@ -504,6 +529,7 @@ def _trace_run(args) -> int:
         ref, config, args.instructions, mode=args.mode, backend=backend,
         use_cache=not args.no_cache, chunks=args.chunks,
         chunk_overlap=args.chunk_overlap, chunk_jobs=args.jobs,
+        interval=args.interval,
     )
     _print_chunk_report(result)
     _print_artifact_counters()
@@ -671,6 +697,20 @@ def cache_main(argv: List[str]) -> int:
             removed[category] += 1
         except OSError:
             continue  # racing another process: gc stays best-effort
+    if args.action == "gc":
+        # A chunk-report sidecar is only meaningful next to its result
+        # file; once the result is gone (age-collected above, or in any
+        # earlier gc) the sidecar is an orphan and is pruned regardless
+        # of its own age.
+        for path in root.glob("*.chunk.json"):
+            result = root / (path.name[: -len(".chunk.json")] + ".json")
+            if result.exists():
+                continue
+            try:
+                path.unlink()
+                removed["chunk_reports"] += 1
+            except OSError:
+                continue
     total = sum(removed.values())
     print(f"removed {total} entries "
           f"(results: {removed['results']}, "
@@ -783,6 +823,13 @@ def sweep_main(argv: List[str]) -> int:
         "--chunk-overlap", type=int, default=None, metavar="N",
         help="warmup-overlap positions per chunk (default: full prefix)")
     parser.add_argument(
+        "--interval", type=int, default=0, metavar="N",
+        help=(
+            "dynamic-policy tick period in cycles (0 = no ticks; only "
+            "dynamic policy kinds consume it)"
+        ),
+    )
+    parser.add_argument(
         "--backend",
         choices=BACKENDS,
         default=None,
@@ -835,7 +882,8 @@ def sweep_main(argv: List[str]) -> int:
         spec = design_space_spec(points, benchmarks, args.instructions, args.salt,
                                  name="adhoc-sweep", backend=backend,
                                  chunks=args.chunks,
-                                 chunk_overlap=args.chunk_overlap)
+                                 chunk_overlap=args.chunk_overlap,
+                                 interval=args.interval)
         sweep = engine.run(spec)
     except TraceParseError as error:  # missing/corrupt trace:// workload
         print(_ingest_error_message(error), file=sys.stderr)
@@ -849,14 +897,14 @@ def sweep_main(argv: List[str]) -> int:
         document = design_space_document(
             sweep, points, benchmarks, args.instructions, args.component,
             args.salt, backend=backend, chunks=args.chunks,
-            chunk_overlap=args.chunk_overlap,
+            chunk_overlap=args.chunk_overlap, interval=args.interval,
         )
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
         summaries = summarize(
             sweep, points, benchmarks, args.instructions, args.component,
             args.salt, backend=backend, chunks=args.chunks,
-            chunk_overlap=args.chunk_overlap,
+            chunk_overlap=args.chunk_overlap, interval=args.interval,
         )
         title = (
             f"Design-space sweep over {', '.join(benchmarks)} "

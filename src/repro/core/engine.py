@@ -31,7 +31,8 @@ from repro.cache.geometry import CacheGeometry
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cache.sram import SetAssociativeCache
 from repro.cache.stats import CacheStats
-from repro.core.kinds import KIND_MISPREDICTED
+from repro.core.interval import validate_reconfigure
+from repro.core.kinds import KIND_BYPASSED, KIND_MISPREDICTED
 from repro.core.policy import (
     DCachePolicy,
     MODE_ORACLE,
@@ -103,6 +104,38 @@ class DCacheEngine:
         self.base_latency = base_latency
         self.array = SetAssociativeCache(geometry, replacement=replacement, name="L1D")
         self.stats = CacheStats()
+        #: When set (by the interval driver), loads/stores skip L1
+        #: entirely and go straight to the hierarchy (forced misses).
+        self.bypassed = False
+        #: Accesses performed while bypassed (observability metadata).
+        self.bypassed_accesses = 0
+
+    # ------------------------------------------------------------------ #
+    # Runtime reconfiguration (interval ticks)
+    # ------------------------------------------------------------------ #
+
+    def reconfigure(self, new_geometry: CacheGeometry) -> None:
+        """Apply a controlled mid-run geometry change (invalidate-all).
+
+        Dirty victims are written back to the hierarchy first (counted
+        as ordinary writebacks, but — like the L2's own flush — charged
+        no latency or probe energy: the resize is modeled as happening
+        off the critical path).  The array rebuilds with fresh
+        replacement state, the energy model is re-derived for the new
+        geometry, and all cumulative stats are preserved.  Block size
+        and address width must not change
+        (:func:`~repro.core.interval.validate_reconfigure`).
+        """
+        validate_reconfigure(self.geometry, new_geometry)
+        offset_bits = self.fields.offset_bits
+        for block_addr in self.array.reconfigure(new_geometry):
+            self.stats.writebacks += 1
+            self.hierarchy.absorb_writeback(block_addr << offset_bits)
+        self.geometry = new_geometry
+        self.fields = new_geometry.fields
+        from repro.energy.cactilite import CactiLite
+
+        self.energy = CactiLite().energy_model(new_geometry)
 
     # ------------------------------------------------------------------ #
     # Helper charging shortcuts
@@ -124,6 +157,14 @@ class DCacheEngine:
 
     def load(self, pc: int, addr: int, xor_handle: int = 0) -> LoadOutcome:
         """Perform a load; returns hit/latency/kind."""
+        if self.bypassed:
+            # Level-predictor bypass: straight to L2, no L1 state or
+            # energy, no prediction.  Counts as a (forced) miss.
+            self.stats.loads += 1
+            self.bypassed_accesses += 1
+            latency = self.hierarchy.fetch_block(addr)
+            self.stats.count_kind(KIND_BYPASSED)
+            return LoadOutcome(hit=False, latency=latency, kind=KIND_BYPASSED, way=-1)
         self.stats.loads += 1
         self.stats.tag_probes += 1
         plan = self.policy.plan_load(pc, addr, xor_handle)
@@ -218,6 +259,11 @@ class DCacheEngine:
         conventional parallel access caches" — identical energy under
         every policy, and no prediction involved.
         """
+        if self.bypassed:
+            self.stats.stores += 1
+            self.bypassed_accesses += 1
+            latency = self.hierarchy.store_block(addr)
+            return StoreOutcome(hit=False, latency=latency)
         self.stats.stores += 1
         self.stats.tag_probes += 1
         resident_way = self.array.probe(addr)

@@ -10,6 +10,7 @@ KIND_PARALLEL = "parallel"  #: all ways probed
 KIND_WAY_PREDICTED = "way_predicted"  #: predicted single-way probe, correct
 KIND_SEQUENTIAL = "sequential"  #: tag-then-data single-way probe
 KIND_MISPREDICTED = "mispredicted"  #: wrong single-way probe; second probe needed
+KIND_BYPASSED = "bypassed"  #: dynamic level-predictor sent the access past L1
 
 KIND_SAWP_CORRECT = "sawp_correct"  #: i-cache way from the SAWP table, correct
 KIND_BTB_CORRECT = "btb_correct"  #: i-cache way from BTB or RAS, correct

@@ -58,6 +58,7 @@ _BUILTIN_MODULES = (
     "repro.core.oracle",
     "repro.core.selective_dm",
     "repro.core.icache_policy",
+    "repro.core.dynamic",
 )
 
 
@@ -107,6 +108,19 @@ class PolicyInfo:
     def defaults(self) -> Dict[str, Any]:
         """Declared params as a plain dict (name -> default)."""
         return dict(self.params)
+
+    @property
+    def dynamic(self) -> bool:
+        """Whether this kind implements the ``on_interval`` tick hook.
+
+        Dynamic kinds observe :class:`~repro.core.interval.IntervalStats`
+        every ``--interval`` accesses/cycles and may return a
+        :class:`~repro.core.interval.ReconfigureAction`; static kinds
+        are never ticked.
+        """
+        from repro.core.interval import is_dynamic_policy
+
+        return is_dynamic_policy(self.factory)
 
 
 def _ensure_builtins() -> None:

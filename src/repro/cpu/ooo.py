@@ -82,11 +82,19 @@ class OutOfOrderCore:
         fetch_unit: FetchUnit,
         dcache: DCacheEngine,
         stats: Optional[CoreStats] = None,
+        interval: int = 0,
+        on_tick=None,
     ) -> None:
         self.config = config
         self.fetch_unit = fetch_unit
         self.dcache = dcache
         self.stats = stats if stats is not None else CoreStats()
+        #: Interval-tick plumbing: with ``interval > 0`` and a callback,
+        #: ``on_tick(cycle)`` fires at the top of each cycle that is a
+        #: positive multiple of ``interval`` (cycle 0 never ticks; a
+        #: tick after the final cycle never fires).
+        self.interval = interval
+        self.on_tick = on_tick
         self._rob: Deque[_RobEntry] = deque()
         self._fetch_queue: Deque[FetchedInstr] = deque()
         self._lsq_count = 0
@@ -102,8 +110,13 @@ class OutOfOrderCore:
         cycle = 0
         last_commit_cycle = 0
         valve = deadlock_limit(len(self.fetch_unit.trace))
+        on_tick = self.on_tick
+        next_tick = self.interval if on_tick is not None and self.interval > 0 else 0
 
         while not (self.fetch_unit.done and not self._fetch_queue and not self._rob):
+            if next_tick and cycle == next_tick:
+                on_tick(cycle)
+                next_tick += self.interval
             if self._commit(cycle):
                 last_commit_cycle = cycle
             self._issue(cycle)

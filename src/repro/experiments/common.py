@@ -40,28 +40,42 @@ class ExperimentSettings:
             the batched ``"fast"`` backend, or the numpy ``"vector"``
             tier; reports are identical by the backends' equivalence
             contract).
+        interval: tick period for dynamic policies (``0`` = each
+            experiment's own default).  Only experiments that run
+            dynamic policies (``dynamic``) consume it.
     """
 
     instructions: int = DEFAULT_INSTRUCTIONS
     benchmarks: Sequence[str] = field(default_factory=lambda: benchmark_names())
     backend: str = "reference"
+    interval: int = 0
 
 
 def settings_from_env() -> ExperimentSettings:
     """Build settings honoring ``REPRO_SCALE``, ``REPRO_BENCHMARKS``,
-    and ``REPRO_BACKEND``.
+    ``REPRO_BACKEND``, and ``REPRO_INTERVAL``.
 
     ``REPRO_SCALE=2.0`` doubles trace lengths; ``REPRO_BENCHMARKS`` is a
     comma-separated subset of application names; ``REPRO_BACKEND=fast``
-    selects the batched backend (the CLI's ``--backend`` overrides it).
+    selects the batched backend; ``REPRO_INTERVAL=N`` sets the dynamic
+    policy tick period (the CLI's ``--backend``/``--interval``
+    override them).
     """
     scale = float(os.environ.get("REPRO_SCALE", "1.0"))
     instructions = max(2_000, int(DEFAULT_INSTRUCTIONS * scale))
     raw = os.environ.get("REPRO_BENCHMARKS", "")
     benchmarks = tuple(name for name in raw.split(",") if name) or benchmark_names()
     backend = os.environ.get("REPRO_BACKEND", "reference")
+    raw_interval = os.environ.get("REPRO_INTERVAL", "0")
+    try:
+        interval = int(raw_interval)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_INTERVAL must be an integer, got {raw_interval!r}"
+        ) from None
     return ExperimentSettings(
-        instructions=instructions, benchmarks=benchmarks, backend=backend
+        instructions=instructions, benchmarks=benchmarks, backend=backend,
+        interval=interval,
     )
 
 

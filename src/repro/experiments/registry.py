@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
+    dynamic,
     fig04_sequential,
     fig05_waypred,
     fig06_selective_dm,
@@ -89,6 +90,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
                    fig10_icache.render, fig10_icache.run),
         Experiment("fig11", "Overall processor energy(-delay)",
                    fig11_processor.render, fig11_processor.run),
+        Experiment("dynamic", "Dynamic policies: static vs adaptive",
+                   dynamic.render, dynamic.run),
     )
 }
 

@@ -61,11 +61,20 @@ class FastCore:
         fetch_unit: FastFetchUnit,
         dcache,
         stats: Optional[CoreStats] = None,
+        interval: int = 0,
+        on_tick=None,
     ) -> None:
         self.config = config
         self.fetch_unit = fetch_unit
         self.dcache = dcache
         self.stats = stats if stats is not None else CoreStats()
+        #: Interval-tick plumbing, identical to the reference core's:
+        #: ``on_tick(cycle)`` fires at the top of each cycle that is a
+        #: positive multiple of ``interval``.  The idle skip clamps its
+        #: jumps at the next tick boundary so the tick *count* matches
+        #: the reference core even across event-free stretches.
+        self.interval = interval
+        self.on_tick = on_tick
 
     # ------------------------------------------------------------------ #
 
@@ -144,8 +153,14 @@ class FastCore:
         cycle = 0
         last_commit_cycle = 0
         valve = deadlock_limit(n)
+        on_tick = self.on_tick
+        interval = self.interval
+        next_tick = interval if on_tick is not None and interval > 0 else 0
 
         while queue or head != tail or fetch_unit.index < n:
+            if next_tick and cycle == next_tick:
+                on_tick(cycle)
+                next_tick += interval
             # ---- commit: in-order retirement, up to commit_width ---- #
             count = 0
             while head != tail and count < commit_width:
@@ -306,6 +321,11 @@ class FastCore:
                     ready = fetch_unit._ready_cycle
                     if ready > cycle and (event < 0 or ready < event):
                         event = ready
+                if next_tick and event > next_tick:
+                    # A pending tick must be visited exactly like the
+                    # reference core would: clamp the jump and let the
+                    # remaining skip resume after the tick fires.
+                    event = next_tick
                 if event > cycle + 1:
                     skipped = event - cycle - 1
                     if fetchable:

@@ -57,6 +57,7 @@ from typing import Optional, Tuple, Union
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement import make_replacement
+from repro.core.interval import IntervalStats, action_is_effective, is_dynamic_policy
 from repro.fastsim.missrate import fast_miss_rate, fast_miss_rate_window
 from repro.sim.functional import MissRateResult
 from repro.workload.encode import EncodedTrace, encode_trace
@@ -121,6 +122,9 @@ def vector_miss_rate(
     geometry: CacheGeometry,
     replacement: str = "lru",
     warmup_fraction: float = 0.2,
+    *,
+    interval: int = 0,
+    policy_factory=None,
 ) -> MissRateResult:
     """Vectorized equivalent of
     :func:`~repro.sim.functional.measure_miss_rate`.
@@ -128,12 +132,23 @@ def vector_miss_rate(
     Falls back to :func:`~repro.fastsim.missrate.fast_miss_rate` — per
     policy, per stream shape, or wholesale when the tier is disabled —
     whenever no vector kernel applies; results are identical either way.
+    Dynamic runs (``interval > 0`` with a dynamic ``policy_factory``)
+    replay speculatively (:func:`_vector_dynamic`) and drop to the fast
+    tier the moment a tick actually reconfigures.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+    if interval < 0:
+        raise ValueError(f"interval must be >= 0, got {interval}")
     encoded = trace if isinstance(trace, EncodedTrace) else encode_trace(trace)
     n = len(encoded)
     warmup = int(n * warmup_fraction)
+    if interval > 0 and policy_factory is not None:
+        if is_dynamic_policy(policy_factory()):
+            return _vector_dynamic(
+                encoded, geometry, replacement, warmup_fraction,
+                interval, policy_factory,
+            )
     counts = _vector_counts(encoded, geometry, replacement, 0, warmup, n)
     if counts is None:
         return fast_miss_rate(encoded, geometry, replacement, warmup_fraction)
@@ -143,6 +158,88 @@ def vector_miss_rate(
         misses=misses,
         load_accesses=load_accesses,
         load_misses=load_misses,
+    )
+
+
+def _vector_dynamic(
+    encoded: EncodedTrace,
+    geometry: CacheGeometry,
+    replacement: str,
+    warmup_fraction: float,
+    interval: int,
+    policy_factory,
+) -> MissRateResult:
+    """Speculative vectorized interval replay with lossless fallback.
+
+    The vector kernels are offline — they classify the whole stream
+    against a *fixed* geometry — so they cannot follow a mid-run
+    reconfiguration.  But a dynamic run where no tick ever changes
+    anything is bit-for-bit the static replay, and whether any tick
+    *does* change anything is decidable from the static replay itself:
+    per-window statistics are segment sums over the full-stream hit
+    mask, and until the first effective action the dynamic policy sees
+    exactly those statistics.  So: classify once, walk the ticks over
+    mask segments, and the moment an action would actually change
+    state (:func:`~repro.core.interval.action_is_effective`), abandon
+    speculation and rerun on the python fast tier with a *fresh*
+    policy — every tick before the divergence replays identically, so
+    the fallback is lossless.
+    """
+    hits = _vector_hits(encoded, geometry, replacement, 0, len(encoded))
+    if hits is None:
+        return fast_miss_rate(
+            encoded, geometry, replacement, warmup_fraction,
+            interval=interval, policy_factory=policy_factory,
+        )
+    n = int(hits.shape[0])
+    is_load = encoded.is_load_np()
+    policy = policy_factory()
+    ticks = 0
+    total_accesses = total_misses = 0
+    seg_start = 0
+    while seg_start + interval < n:
+        seg_end = seg_start + interval
+        seg_hits = hits[seg_start:seg_end]
+        seg_len = seg_end - seg_start
+        window_misses = seg_len - int(np.count_nonzero(seg_hits))
+        window_loads = int(np.count_nonzero(is_load[seg_start:seg_end]))
+        total_accesses += seg_len
+        total_misses += window_misses
+        stats = IntervalStats(
+            index=ticks,
+            position=seg_end,
+            interval=interval,
+            accesses=seg_len,
+            loads=window_loads,
+            stores=seg_len - window_loads,
+            misses=window_misses,
+            way_mispredicts=0,
+            energy_delta=0.0,
+            total_accesses=total_accesses,
+            total_misses=total_misses,
+            geometry=geometry,
+            bypassed=False,
+        )
+        action = policy.on_interval(stats)
+        ticks += 1
+        if action_is_effective(action, geometry, False):
+            return fast_miss_rate(
+                encoded, geometry, replacement, warmup_fraction,
+                interval=interval, policy_factory=policy_factory,
+            )
+        seg_start = seg_end
+    warmup = int(n * warmup_fraction)
+    accesses, misses, load_accesses, load_misses = _tally(hits, is_load, warmup)
+    return MissRateResult(
+        accesses=accesses,
+        misses=misses,
+        load_accesses=load_accesses,
+        load_misses=load_misses,
+        ticks=ticks,
+        reconfigurations=0,
+        bypass_toggles=0,
+        bypassed_accesses=0,
+        final_size_bytes=geometry.size_bytes,
     )
 
 
@@ -202,6 +299,29 @@ def _vector_counts(
     chunked replay passes owned-region windows, and the kernels see only
     the zero-copy slice ``[replay_start:end)`` with ``warmup`` relative
     positions to evolve state over before counting."""
+    hits = _vector_hits(encoded, geometry, replacement, replay_start, end)
+    if hits is None:
+        return None
+    end = min(end, len(encoded))
+    return _tally(
+        hits, encoded.is_load_np()[replay_start:end], count_start - replay_start
+    )
+
+
+def _vector_hits(
+    encoded: EncodedTrace,
+    geometry: CacheGeometry,
+    replacement: str,
+    replay_start: int,
+    end: int,
+):
+    """Per-position hit mask for ``[replay_start, end)``, or ``None``.
+
+    The classification core shared by counting (:func:`_vector_counts`
+    folds the mask with :func:`_tally`) and by the speculative dynamic
+    replay (which sums mask *segments* per tick window).  ``None``
+    means no vector kernel applies and the python tier must run.
+    """
     if not vector_enabled():
         return None
     num_sets = geometry.num_sets
@@ -213,29 +333,25 @@ def _vector_counts(
         return None  # position would overflow the packed sort key
     blocks = blocks[replay_start:end]
     n = int(blocks.shape[0])
-    warmup = count_start - replay_start
     if assoc == 1:
         # Replacement never arbitrates a direct-mapped cache, but an
         # unknown name must still raise exactly like the other tiers.
         make_replacement(replacement, 1)
         if n == 0:
-            return (0, 0, 0, 0)
-        return _direct_mapped(
-            blocks, encoded.is_load_np()[replay_start:end], num_sets, warmup
-        )
+            return np.zeros(0, dtype=bool)
+        return _direct_mapped(blocks, num_sets)
     if replacement == "plru":
         # Validates power-of-two associativity like the reference does.
         make_replacement(replacement, assoc)
     elif replacement != "lru":
         return None  # fifo/random/plugins: object-driven python tier
     if n == 0:
-        return (0, 0, 0, 0)
-    is_load = encoded.is_load_np()[replay_start:end]
+        return np.zeros(0, dtype=bool)
     if replacement == "lru" or assoc == 2:
         # A 2-way PLRU tree is exact LRU: its single bit always points
         # at the less recently used way.
-        return _lru(blocks, is_load, num_sets, assoc, warmup)
-    return _plru(blocks, is_load, num_sets, assoc, warmup)
+        return _lru(blocks, num_sets, assoc)
+    return _plru(blocks, num_sets, assoc)
 
 
 # ------------------------------------------------------------------ #
@@ -278,7 +394,7 @@ def _tally(hits, is_load, warmup: int) -> _Counts:
 # ------------------------------------------------------------------ #
 
 
-def _direct_mapped(blocks, is_load, num_sets: int, warmup: int) -> _Counts:
+def _direct_mapped(blocks, num_sets: int):
     """Gather, adjacent-compare, scatter: the whole replay in one pass.
 
     In set-major order an access hits iff its predecessor *in the sort*
@@ -291,7 +407,7 @@ def _direct_mapped(blocks, is_load, num_sets: int, warmup: int) -> _Counts:
     np.equal(sorted_blocks[1:], sorted_blocks[:-1], out=hit_sorted[1:])
     hits = np.empty(n, dtype=bool)
     hits[order] = hit_sorted
-    return _tally(hits, is_load, warmup)
+    return hits
 
 
 # ------------------------------------------------------------------ #
@@ -299,7 +415,7 @@ def _direct_mapped(blocks, is_load, num_sets: int, warmup: int) -> _Counts:
 # ------------------------------------------------------------------ #
 
 
-def _lru(blocks, is_load, num_sets: int, assoc: int, warmup: int) -> _Counts:
+def _lru(blocks, num_sets: int, assoc: int):
     """Classify every access by the LRU stack property, statelessly.
 
     Layered so each (cheaper) rule resolves the bulk of what the
@@ -361,7 +477,7 @@ def _lru(blocks, is_load, num_sets: int, assoc: int, warmup: int) -> _Counts:
     hits_sorted[collapsed_pos] = hit
     hits = np.empty(n, dtype=bool)
     hits[order] = hits_sorted
-    return _tally(hits, is_load, warmup)
+    return hits
 
 
 def _scan_unresolved(collapsed, prev, unresolved, assoc: int, hit) -> None:
@@ -392,7 +508,7 @@ def _scan_unresolved(collapsed, prev, unresolved, assoc: int, hit) -> None:
 # ------------------------------------------------------------------ #
 
 
-def _plru(blocks, is_load, num_sets: int, assoc: int, warmup: int) -> Optional[_Counts]:
+def _plru(blocks, num_sets: int, assoc: int):
     """Advance all sets' tree state one occurrence-rank at a time.
 
     Repeated same-block accesses are hits that re-touch the same way,
@@ -488,4 +604,4 @@ def _plru(blocks, is_load, num_sets: int, assoc: int, warmup: int) -> Optional[_
     hits_sorted[collapsed_pos] = collapsed_hit
     hits = np.empty(n, dtype=bool)
     hits[order] = hits_sorted
-    return _tally(hits, is_load, warmup)
+    return hits

@@ -115,12 +115,14 @@ def _execute_sweep(spec: SweepJobSpec, engine: SweepEngine) -> str:
         points, spec.benchmarks, spec.instructions, spec.salt,
         name="adhoc-sweep", backend=spec.backend,
         chunks=spec.chunks, chunk_overlap=spec.chunk_overlap,
+        interval=spec.interval,
     )
     sweep = engine.run(grid)
     document = design_space_document(
         sweep, points, spec.benchmarks, spec.instructions, spec.component,
         spec.salt, backend=spec.backend,
         chunks=spec.chunks, chunk_overlap=spec.chunk_overlap,
+        interval=spec.interval,
     )
     return json.dumps(document, indent=2, sort_keys=True)
 
@@ -130,6 +132,7 @@ def _execute_experiments(spec: ExperimentJobSpec, engine: SweepEngine) -> str:
         instructions=spec.instructions,
         benchmarks=spec.benchmarks,
         backend=spec.backend,
+        interval=spec.interval,
     )
     documents = [
         experiment_json(experiment_id, settings, engine)

@@ -55,6 +55,11 @@ JOB_STATES = ("queued", "running", "done", "failed")
 #: Energy components the sweep job kind can normalize on.
 COMPONENTS = ("dcache", "icache", "processor")
 
+#: Experiment ids whose workloads may be ``trace://`` refs: they replay
+#: every workload through the sweep engine instead of indexing the
+#: synthetic benchmark profile tables.
+TRACE_CAPABLE_EXPERIMENTS = ("dynamic",)
+
 
 class ProtocolError(ValueError):
     """A malformed job request; the message is the one-line 400 reason."""
@@ -81,6 +86,7 @@ class SweepJobSpec:
     backend: str = "reference"
     chunks: int = 0
     chunk_overlap: Optional[int] = None
+    interval: int = 0
 
     kind = "sweep"
 
@@ -93,6 +99,7 @@ class ExperimentJobSpec:
     benchmarks: Tuple[str, ...] = ()  # () = all applications, paper order
     instructions: int = 60_000
     backend: str = "reference"
+    interval: int = 0
 
     kind = "experiment"
 
@@ -184,8 +191,13 @@ def _parse_sweep(data: Mapping[str, Any]) -> SweepJobSpec:
         backend=_str_field(data, "backend", "reference"),
         chunks=_int_field(data, "chunks", 0, 0),
         chunk_overlap=_opt_int_field(data, "chunk_overlap", 0),
+        interval=_int_field(data, "interval", 0, 0),
     )
     _require(len(spec.policies) > 0, "'policies' must name at least one policy kind")
+    try:
+        runner._validate_interval(spec.interval, spec.chunks)
+    except ValueError as error:
+        raise ProtocolError(str(error)) from None
     try:
         # The design-space grid runs the full simulator, so chunk
         # parameters validate against mode="sim" — exactly what a
@@ -220,6 +232,7 @@ def _parse_experiment(data: Mapping[str, Any]) -> ExperimentJobSpec:
         benchmarks=_str_tuple(data, "benchmarks", benchmark_names()),
         instructions=_int_field(data, "instructions", 60_000, 1),
         backend=_str_field(data, "backend", "reference"),
+        interval=_int_field(data, "interval", 0, 0),
     )
     _require(
         len(spec.experiments) > 0, "'experiments' must name at least one experiment"
@@ -234,9 +247,16 @@ def _parse_experiment(data: Mapping[str, Any]) -> ExperimentJobSpec:
         spec.backend in BACKENDS,
         f"unknown backend {spec.backend!r}; valid: {BACKENDS}",
     )
-    # Experiments index the benchmark profile tables, so file-backed
-    # trace:// workloads are not accepted here (use kind="sweep").
-    _check_workloads(spec.benchmarks, allow_traces=False)
+    # Most experiments index the benchmark profile tables, so
+    # file-backed trace:// workloads are accepted only when every
+    # requested experiment replays workloads through the sweep engine
+    # (today: the ``dynamic`` static-vs-adaptive comparison); otherwise
+    # use kind="sweep".
+    allow_traces = all(
+        experiment_id in TRACE_CAPABLE_EXPERIMENTS
+        for experiment_id in spec.experiments
+    )
+    _check_workloads(spec.benchmarks, allow_traces=allow_traces)
     return spec
 
 

@@ -20,6 +20,11 @@ from typing import Iterable, Tuple
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.sram import SetAssociativeCache
+from repro.core.interval import (
+    IntervalStats,
+    is_dynamic_policy,
+    validate_reconfigure,
+)
 from repro.workload.instr import OP_LOAD, OP_STORE
 from repro.workload.trace import Trace
 
@@ -56,12 +61,25 @@ def trace_mem_ops(trace: Trace) -> Tuple[array, array]:
 
 @dataclass(frozen=True)
 class MissRateResult:
-    """Miss statistics from one functional run."""
+    """Miss statistics from one functional run.
+
+    The dynamics counters describe interval-tick activity when the run
+    used a dynamic policy (``interval > 0``); they stay at their zero
+    defaults on every static run, and chunked replay (which excludes
+    intervals) never populates them.  ``bypassed_accesses`` counts every
+    bypassed replay position, warmup included — it is observability
+    metadata, not a result counter.
+    """
 
     accesses: int
     misses: int
     load_accesses: int
     load_misses: int
+    ticks: int = 0
+    reconfigurations: int = 0
+    bypass_toggles: int = 0
+    bypassed_accesses: int = 0
+    final_size_bytes: int = 0
 
     @property
     def miss_rate(self) -> float:
@@ -79,6 +97,9 @@ def measure_miss_rate(
     geometry: CacheGeometry,
     replacement: str = "lru",
     warmup_fraction: float = 0.2,
+    *,
+    interval: int = 0,
+    policy_factory=None,
 ) -> MissRateResult:
     """Stream ``trace``'s memory accesses through a cache; LRU by default.
 
@@ -87,14 +108,125 @@ def measure_miss_rate(
             warm the cache before counting (the paper's billions of
             instructions make cold-start effects negligible; ours would
             not be without a warmup window).
+        interval: tick period in memory accesses; with a dynamic
+            ``policy_factory`` the run delivers
+            :class:`~repro.core.interval.IntervalStats` every
+            ``interval`` accesses and applies any returned
+            reconfiguration.  0 disables ticking.
+        policy_factory: zero-argument callable building a fresh policy
+            instance (each tier builds its own so speculative tiers can
+            restart cleanly).  Ignored unless the built policy is
+            dynamic (:func:`~repro.core.interval.is_dynamic_policy`).
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+    if interval < 0:
+        raise ValueError(f"interval must be >= 0, got {interval}")
     addrs, _loads = trace_mem_ops(trace)
     warmup = int(len(addrs) * warmup_fraction)
+    if interval > 0 and policy_factory is not None:
+        policy = policy_factory()
+        if is_dynamic_policy(policy):
+            return _measure_dynamic(
+                trace, geometry, replacement, warmup, interval, policy
+            )
     return measure_miss_rate_window(
         trace, geometry, replacement,
         replay_start=0, count_start=warmup, end=len(addrs),
+    )
+
+
+def _measure_dynamic(
+    trace: Trace,
+    geometry: CacheGeometry,
+    replacement: str,
+    warmup: int,
+    interval: int,
+    policy,
+) -> MissRateResult:
+    """The reference interval loop: tick, maybe reconfigure, replay on.
+
+    The k-th tick fires just before position ``k*interval`` is
+    processed (k >= 1, strictly inside the stream) and describes the
+    preceding window; see :mod:`repro.core.interval` for the full
+    timing and flush semantics.  This is the behavioural contract the
+    fast and vector tiers must match byte-for-byte.
+    """
+    addrs, loads = trace_mem_ops(trace)
+    n = len(addrs)
+    cache = SetAssociativeCache(geometry, replacement=replacement)
+    bypassed = False
+    accesses = misses = load_accesses = load_misses = 0
+    ticks = reconfigurations = bypass_toggles = bypassed_accesses = 0
+    win_accesses = win_loads = win_misses = 0
+    total_accesses = total_misses = 0
+    next_tick = interval
+    for position in range(n):
+        if position == next_tick:
+            stats = IntervalStats(
+                index=ticks,
+                position=position,
+                interval=interval,
+                accesses=win_accesses,
+                loads=win_loads,
+                stores=win_accesses - win_loads,
+                misses=win_misses,
+                way_mispredicts=0,
+                energy_delta=0.0,
+                total_accesses=total_accesses,
+                total_misses=total_misses,
+                geometry=cache.geometry,
+                bypassed=bypassed,
+            )
+            action = policy.on_interval(stats)
+            ticks += 1
+            next_tick += interval
+            win_accesses = win_loads = win_misses = 0
+            if action is not None:
+                if action.geometry is not None and action.geometry != cache.geometry:
+                    validate_reconfigure(cache.geometry, action.geometry)
+                    cache.reconfigure(action.geometry)
+                    reconfigurations += 1
+                if action.bypass is not None and action.bypass != bypassed:
+                    bypassed = action.bypass
+                    bypass_toggles += 1
+        addr = addrs[position]
+        if bypassed:
+            hit = False
+            bypassed_accesses += 1
+        else:
+            way = cache.probe(addr)
+            hit = way is not None
+            if hit:
+                cache.touch(addr, way)
+            else:
+                cache.fill(addr)
+        is_load = loads[position]
+        win_accesses += 1
+        win_loads += 1 if is_load else 0
+        total_accesses += 1
+        if not hit:
+            win_misses += 1
+            total_misses += 1
+        if position < warmup:
+            continue
+        accesses += 1
+        if is_load:
+            load_accesses += 1
+        if not hit:
+            misses += 1
+            if is_load:
+                load_misses += 1
+    return MissRateResult(
+        accesses=accesses,
+        misses=misses,
+        load_accesses=load_accesses,
+        load_misses=load_misses,
+        ticks=ticks,
+        reconfigurations=reconfigurations,
+        bypass_toggles=bypass_toggles,
+        bypassed_accesses=bypassed_accesses,
+        final_size_bytes=cache.geometry.size_bytes,
     )
 
 

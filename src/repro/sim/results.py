@@ -141,6 +141,31 @@ class EnergyMetrics:
         return safe_ratio(l1, self.processor_total)
 
 
+@dataclass
+class DynamicsMetrics:
+    """Interval-tick activity of one dynamic-policy run.
+
+    All-zero (``ticks == 0``) for static runs and for dynamic runs that
+    never reached a tick; such results serialize without the section at
+    all, keeping their flats byte-identical to the pre-dynamics schema.
+
+    Attributes:
+        interval: the configured tick period (accesses or cycles).
+        ticks: intervals actually delivered to a policy.
+        reconfigurations: ticks whose action changed the geometry.
+        bypass_toggles: ticks whose action flipped the L1-bypass state.
+        bypassed_accesses: accesses that skipped L1 entirely.
+        final_size_bytes: d-cache capacity at the end of the run.
+    """
+
+    interval: int = 0
+    ticks: int = 0
+    reconfigurations: int = 0
+    bypass_toggles: int = 0
+    bypassed_accesses: int = 0
+    final_size_bytes: int = 0
+
+
 #: The nested sections of a result, in flat-name prefix order.
 _SECTIONS: Tuple[Tuple[str, type], ...] = (
     ("core", CoreMetrics),
@@ -148,6 +173,14 @@ _SECTIONS: Tuple[Tuple[str, type], ...] = (
     ("icache", L1Metrics),
     ("l2", L2Metrics),
     ("energy", EnergyMetrics),
+)
+
+#: Optional sections: present in a flat mapping only when populated.
+#: Kept out of :meth:`SimResult.flat_field_names` so the disk-cache
+#: schema version — and every no-ticks flat — is unchanged from the
+#: pre-dynamics era.
+_OPTIONAL_SECTIONS: Tuple[Tuple[str, type], ...] = (
+    ("dynamics", DynamicsMetrics),
 )
 
 
@@ -162,6 +195,7 @@ class SimResult:
     icache: L1Metrics = field(default_factory=L1Metrics)
     l2: L2Metrics = field(default_factory=L2Metrics)
     energy: EnergyMetrics = field(default_factory=EnergyMetrics)
+    dynamics: DynamicsMetrics = field(default_factory=DynamicsMetrics)
 
     # -------------------------------------------------------------- #
     # Headline conveniences
@@ -184,9 +218,19 @@ class SimResult:
     @classmethod
     def flat_field_names(cls) -> Tuple[str, ...]:
         """Sorted flat-schema keys; the cache schema version derives
-        from these, so reshaping any section rolls the version."""
+        from these, so reshaping any section rolls the version.
+        Optional sections (dynamics) are deliberately excluded — their
+        absence *is* the v7-era schema."""
         names = ["benchmark", "config_key"]
         for prefix, section in _SECTIONS:
+            names.extend(f"{prefix}_{f.name}" for f in fields(section))
+        return tuple(sorted(names))
+
+    @classmethod
+    def optional_flat_field_names(cls) -> Tuple[str, ...]:
+        """Sorted keys of the optional sections, when present."""
+        names = []
+        for prefix, section in _OPTIONAL_SECTIONS:
             names.extend(f"{prefix}_{f.name}" for f in fields(section))
         return tuple(sorted(names))
 
@@ -197,7 +241,10 @@ class SimResult:
         emitted in sorted key order: their in-memory insertion order is
         an execution-backend artifact (e.g. which L1 engine charged the
         ledger first), and serializing them canonically keeps JSON
-        dumps of equal results byte-identical across backends.
+        dumps of equal results byte-identical across backends.  The
+        dynamics section is emitted only when the run delivered ticks,
+        so every no-ticks flat round-trips byte-identically to the
+        pre-dynamics schema.
         """
         flat: Dict[str, object] = {
             "benchmark": self.benchmark,
@@ -210,11 +257,19 @@ class SimResult:
                 if isinstance(value, dict):
                     value = {key: value[key] for key in sorted(value)}
                 flat[f"{prefix}_{f.name}"] = value
+        if self.dynamics.ticks > 0:
+            for prefix, _section in _OPTIONAL_SECTIONS:
+                part = getattr(self, prefix)
+                for f in fields(part):
+                    flat[f"{prefix}_{f.name}"] = getattr(part, f.name)
         return flat
 
     @classmethod
     def from_flat(cls, flat: Dict[str, object]) -> "SimResult":
         """Rebuild a result from :meth:`to_flat` output.
+
+        Accepts the required schema with or without the full optional
+        dynamics section (absent = all-zero dynamics).
 
         Raises:
             ValueError: when the mapping's keys don't exactly match the
@@ -222,12 +277,18 @@ class SimResult:
                 stale entry).
         """
         expected = cls.flat_field_names()
-        if tuple(sorted(flat)) != expected:
+        keys = tuple(sorted(flat))
+        with_optional = tuple(sorted(expected + cls.optional_flat_field_names()))
+        if keys != expected and keys != with_optional:
             raise ValueError("flat mapping does not match the current result schema")
         sections = {}
         for prefix, section in _SECTIONS:
             kwargs = {f.name: flat[f"{prefix}_{f.name}"] for f in fields(section)}
             sections[prefix] = section(**kwargs)
+        if keys == with_optional:
+            for prefix, section in _OPTIONAL_SECTIONS:
+                kwargs = {f.name: flat[f"{prefix}_{f.name}"] for f in fields(section)}
+                sections[prefix] = section(**kwargs)
         return cls(
             benchmark=str(flat["benchmark"]),
             config_key=str(flat["config_key"]),

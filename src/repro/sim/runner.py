@@ -76,7 +76,7 @@ from repro.sim.functional import (
     merge_miss_rates,
     trace_mem_ops,
 )
-from repro.sim.results import L1Metrics, SimResult
+from repro.sim.results import DynamicsMetrics, L1Metrics, SimResult
 from repro.sim.simulator import BACKENDS, Simulator
 from repro.workload.artifact import load_artifact, write_artifact
 from repro.workload.encode import (
@@ -145,15 +145,34 @@ _TRACE_CACHE: "OrderedDict[Tuple[str, int, int], Trace]" = OrderedDict()
 
 
 def _trace_cache_capacity() -> int:
-    """Max traces kept in memory (``REPRO_TRACE_CACHE``, default 16)."""
+    """Max traces kept in memory (``REPRO_TRACE_CACHE``, default 16).
+
+    Raises:
+        ValueError: ``REPRO_TRACE_CACHE`` is set to a non-integer or a
+            negative value.  A silent fallback here would hide a typo'd
+            tuning knob until a long-lived service OOMs.
+    """
+    raw = os.environ.get("REPRO_TRACE_CACHE", "16")
     try:
-        capacity = int(os.environ.get("REPRO_TRACE_CACHE", "16"))
+        capacity = int(raw)
     except ValueError:
-        return 16
+        raise ValueError(
+            f"REPRO_TRACE_CACHE must be an integer, got {raw!r}"
+        ) from None
+    if capacity < 0:
+        raise ValueError(
+            f"REPRO_TRACE_CACHE must be >= 0, got {capacity}"
+        )
     return max(1, capacity)
 
 #: Flat keys a cached JSON blob must carry to round-trip losslessly.
 _RESULT_FIELDS = SimResult.flat_field_names()
+
+#: The same schema with the optional dynamics section attached — what a
+#: ticked run's blob carries.  Both spellings are valid on disk.
+_RESULT_FIELDS_WITH_DYNAMICS = tuple(
+    sorted(_RESULT_FIELDS + SimResult.optional_flat_field_names())
+)
 
 #: Cache schema version: changing any result section's shape changes
 #: every key, so entries written by an older schema are ignored, not
@@ -406,6 +425,27 @@ def _validate_chunking(mode: str, chunks: int, chunk_overlap: Optional[int]) -> 
             )
 
 
+def _validate_interval(interval: int, chunks: int) -> None:
+    """Reject invalid interval coordinates before any key is built.
+
+    Interval ticking and chunked replay are mutually exclusive: a chunk
+    replays from cold state with no policy, so a dynamic policy's
+    reconfiguration history could never be reproduced chunk-locally.
+    """
+    if interval < 0:
+        raise ValueError(f"interval must be >= 0 (0 = no ticks), got {interval}")
+    if interval > 0 and chunks > 0:
+        raise ValueError(
+            "interval ticks are incompatible with chunked replay; "
+            "use chunks=0 with interval > 0"
+        )
+
+
+def _interval_token(interval: int) -> str:
+    """The cache-key component naming the tick period (``static`` = none)."""
+    return "static" if interval == 0 else f"interval={interval}"
+
+
 def _chunk_token(chunks: int, chunk_overlap: Optional[int]) -> str:
     """The cache-key component naming the chunk plan.
 
@@ -429,6 +469,7 @@ def cache_key(
     backend: str = "reference",
     chunks: int = 0,
     chunk_overlap: Optional[int] = None,
+    interval: int = 0,
 ) -> str:
     """Stable cache key for one run (includes the result-schema version).
 
@@ -447,13 +488,18 @@ def cache_key(
     bump embeds the chunk plan (count and overlap, ``serial`` when
     unchunked): chunked replay with a finite overlap is a sampled
     approximation, so toggling ``chunks`` must never serve a stale
-    serial entry — or vice versa.
+    serial entry — or vice versa.  The v7->v8 bump embeds the tick
+    period (``static`` when 0): a dynamic policy's behaviour is a
+    function of the interval, so the same config at two intervals is
+    two distinct runs (the policy's own parameters already ride in via
+    ``config.key()``).
     """
     _validate_chunking(mode, chunks, chunk_overlap)
+    _validate_interval(interval, chunks)
     payload = (
         f"{workload_id(benchmark)}|{config.key()}|{instructions}|{salt}|{mode}|{backend}"
         f"|{resolve_tier(backend, mode)}|{_chunk_token(chunks, chunk_overlap)}"
-        f"|v7:{SCHEMA_VERSION}"
+        f"|{_interval_token(interval)}|v8:{SCHEMA_VERSION}"
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -468,7 +514,10 @@ def _load_disk(key: str) -> Optional[SimResult]:
     try:
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
-        if not isinstance(data, dict) or tuple(sorted(data)) != _RESULT_FIELDS:
+        if not isinstance(data, dict) or tuple(sorted(data)) not in (
+            _RESULT_FIELDS,
+            _RESULT_FIELDS_WITH_DYNAMICS,
+        ):
             return None  # stale or foreign schema: treat as a miss
         return SimResult.from_flat(data)
     except (OSError, ValueError, TypeError):
@@ -599,10 +648,12 @@ def load_cached(
     backend: str = "reference",
     chunks: int = 0,
     chunk_overlap: Optional[int] = None,
+    interval: int = 0,
 ) -> Optional[SimResult]:
     """Resolve one run against the caches; ``None`` means "must execute"."""
     key = cache_key(
-        benchmark, config, instructions, salt, mode, backend, chunks, chunk_overlap
+        benchmark, config, instructions, salt, mode, backend, chunks,
+        chunk_overlap, interval,
     )
     cached = _RESULT_CACHE.get(key)
     if cached is None:
@@ -623,7 +674,8 @@ def load_cached(
 
 
 def _build_missrate_result(
-    trace: Trace, config: SystemConfig, measured: MissRateResult
+    trace: Trace, config: SystemConfig, measured: MissRateResult,
+    interval: int = 0,
 ) -> SimResult:
     """Package functional miss counters as a :class:`SimResult`."""
     result = SimResult(benchmark=trace.name, config_key=config.key())
@@ -638,7 +690,32 @@ def _build_missrate_result(
         load_misses=measured.load_misses,
         misses=measured.misses,
     )
+    if measured.ticks > 0:
+        result.dynamics = DynamicsMetrics(
+            interval=interval,
+            ticks=measured.ticks,
+            reconfigurations=measured.reconfigurations,
+            bypass_toggles=measured.bypass_toggles,
+            bypassed_accesses=measured.bypassed_accesses,
+            final_size_bytes=measured.final_size_bytes,
+        )
     return result
+
+
+def _dynamic_policy_factory(config: SystemConfig):
+    """A zero-arg factory for the config's d-cache policy, when dynamic.
+
+    Returns ``None`` for static kinds: the miss-rate path then runs the
+    ordinary (tickless) kernels, so a static config at ``interval > 0``
+    is byte-identical to the same config at ``interval == 0`` — only
+    its cache key differs.
+    """
+    from repro.core.registry import get_policy
+
+    spec = config.dcache_policy
+    if not get_policy(spec.kind, "dcache").dynamic:
+        return None
+    return spec.build
 
 
 def _stream_length(trace: Trace, tier: str) -> int:
@@ -840,14 +917,16 @@ def execute(
     chunks: int = 0,
     chunk_overlap: Optional[int] = None,
     chunk_jobs: int = 1,
+    interval: int = 0,
 ) -> SimResult:
     """Run one point, bypassing all caches (worker-process safe)."""
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; valid: {BACKENDS}")
     _validate_chunking(mode, chunks, chunk_overlap)
+    _validate_interval(interval, chunks)
     if mode == "sim":
         trace = get_trace(benchmark, instructions, salt)
-        return Simulator(config, backend=backend).run(trace)
+        return Simulator(config, backend=backend, interval=interval).run(trace)
     if mode == "missrate":
         trace = get_trace(benchmark, instructions, salt)
         tier = resolve_tier(backend, mode)
@@ -856,10 +935,13 @@ def execute(
                 benchmark, trace, config, instructions, salt, tier,
                 chunks, chunk_overlap, chunk_jobs,
             )
+        factory = _dynamic_policy_factory(config) if interval > 0 else None
         measured = _MISSRATE_MEASURES[tier](
-            trace, config.dcache.geometry(), replacement=config.replacement
+            trace, config.dcache.geometry(), replacement=config.replacement,
+            interval=interval if factory is not None else 0,
+            policy_factory=factory,
         )
-        return _build_missrate_result(trace, config, measured)
+        return _build_missrate_result(trace, config, measured, interval)
     raise ValueError(f"unknown run mode {mode!r}; valid: {RUN_MODES}")
 
 
@@ -873,10 +955,12 @@ def store_result(
     backend: str = "reference",
     chunks: int = 0,
     chunk_overlap: Optional[int] = None,
+    interval: int = 0,
 ) -> None:
     """Publish a result into the in-process and on-disk caches."""
     key = cache_key(
-        benchmark, config, instructions, salt, mode, backend, chunks, chunk_overlap
+        benchmark, config, instructions, salt, mode, backend, chunks,
+        chunk_overlap, interval,
     )
     _RESULT_CACHE[key] = result
     _store_disk(key, result)
@@ -896,23 +980,24 @@ def run_benchmark(
     chunks: int = 0,
     chunk_overlap: Optional[int] = None,
     chunk_jobs: int = 1,
+    interval: int = 0,
 ) -> SimResult:
     """Simulate ``benchmark`` under ``config``; memoized."""
     if use_cache:
         cached = load_cached(
             benchmark, config, instructions, salt, mode, backend,
-            chunks, chunk_overlap,
+            chunks, chunk_overlap, interval,
         )
         if cached is not None:
             return cached
     result = execute(
         benchmark, config, instructions, salt, mode, backend,
-        chunks, chunk_overlap, chunk_jobs,
+        chunks, chunk_overlap, chunk_jobs, interval,
     )
     if use_cache:
         store_result(
             benchmark, config, instructions, result, salt, mode, backend,
-            chunks, chunk_overlap,
+            chunks, chunk_overlap, interval,
         )
     # Persist whatever the run just encoded, independent of the result
     # caches (`use_cache=False` governs result reuse, not derived

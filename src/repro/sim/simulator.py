@@ -34,6 +34,7 @@ from repro.cache.hierarchy import L2Cache, MainMemory, MemoryHierarchy
 from repro.core.engine import DCacheEngine
 from repro.core.factory import build_dcache_policy, build_icache_policy
 from repro.core.icache import ICacheEngine
+from repro.core.interval import IntervalStats, is_dynamic_policy
 from repro.fastsim import (
     FastBackendUnsupported,
     FastCore,
@@ -51,6 +52,7 @@ from repro.energy.tables import PredictionStructureEnergy
 from repro.sim.config import SystemConfig
 from repro.sim.results import (
     CoreMetrics,
+    DynamicsMetrics,
     EnergyMetrics,
     L1Metrics,
     L2Metrics,
@@ -65,6 +67,82 @@ from repro.workload.trace import Trace
 BACKENDS = ("reference", "fast", "vector")
 
 
+class _IntervalDriver:
+    """Delivers interval ticks to a dynamic d-cache policy.
+
+    Reads the engine's cumulative stats/ledger at each tick, hands the
+    window delta to ``policy.on_interval``, and applies any returned
+    action to the engine.  Only the reference engine ever hosts a
+    dynamic policy (dynamic kinds have no fast kernels, so the fast
+    backend falls back for that side), so ``engine.policy``,
+    ``engine.reconfigure``, and ``engine.bypassed`` always exist here.
+    ``way_mispredicts`` is the window's second-probe count and
+    ``energy_delta`` the window's d-cache + prediction ledger charge —
+    the two signals the paper's section 4 feedback schemes key on.
+    """
+
+    def __init__(
+        self, engine: DCacheEngine, ledger: EnergyLedger, interval: int
+    ) -> None:
+        self.engine = engine
+        self.ledger = ledger
+        self.interval = interval
+        self.ticks = 0
+        self.reconfigurations = 0
+        self.bypass_toggles = 0
+        self._prev_accesses = 0
+        self._prev_loads = 0
+        self._prev_misses = 0
+        self._prev_mispredicts = 0
+        self._prev_energy = 0.0
+
+    def _energy(self) -> float:
+        return self.ledger.get(self.engine.ENERGY_COMPONENT) + self.ledger.get(
+            self.engine.PREDICTION_COMPONENT
+        )
+
+    def __call__(self, cycle: int) -> None:
+        engine = self.engine
+        stats = engine.stats
+        accesses = stats.accesses
+        loads = stats.loads
+        misses = stats.misses
+        mispredicts = stats.second_probes
+        energy = self._energy()
+        win_accesses = accesses - self._prev_accesses
+        win_loads = loads - self._prev_loads
+        tick_stats = IntervalStats(
+            index=self.ticks,
+            position=cycle,
+            interval=self.interval,
+            accesses=win_accesses,
+            loads=win_loads,
+            stores=win_accesses - win_loads,
+            misses=misses - self._prev_misses,
+            way_mispredicts=mispredicts - self._prev_mispredicts,
+            energy_delta=energy - self._prev_energy,
+            total_accesses=accesses,
+            total_misses=misses,
+            geometry=engine.geometry,
+            bypassed=engine.bypassed,
+        )
+        action = engine.policy.on_interval(tick_stats)
+        self.ticks += 1
+        self._prev_accesses = accesses
+        self._prev_loads = loads
+        self._prev_misses = misses
+        self._prev_mispredicts = mispredicts
+        self._prev_energy = energy
+        if action is None:
+            return
+        if action.geometry is not None and action.geometry != engine.geometry:
+            engine.reconfigure(action.geometry)  # validates the change
+            self.reconfigurations += 1
+        if action.bypass is not None and action.bypass != engine.bypassed:
+            engine.bypassed = action.bypass
+            self.bypass_toggles += 1
+
+
 class Simulator:
     """One system instance; construct fresh per run (state is not reusable).
 
@@ -74,6 +152,12 @@ class Simulator:
         backend: ``"reference"``, ``"fast"``, or ``"vector"`` (see the
             module docstring; the last two build identical pipelines
             here).
+        interval: tick period in *cycles*; with a dynamic d-cache
+            policy the run delivers
+            :class:`~repro.core.interval.IntervalStats` to its
+            ``on_interval`` hook every ``interval`` cycles and applies
+            any returned reconfiguration/bypass action.  0 (default)
+            disables ticking; static policies are never ticked.
     """
 
     def __init__(
@@ -81,11 +165,15 @@ class Simulator:
         config: SystemConfig,
         wattch: Optional[WattchParameters] = None,
         backend: str = "reference",
+        interval: int = 0,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; valid: {BACKENDS}")
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0 (0 = no ticks), got {interval}")
         self.config = config
         self.backend = backend
+        self.interval = interval
         self.ledger = EnergyLedger()
         cacti = CactiLite()
 
@@ -178,12 +266,24 @@ class Simulator:
     def run(self, trace: Trace) -> SimResult:
         """Execute ``trace`` and assemble the result record."""
         core_stats = CoreStats()
+        driver = None
+        if self.interval > 0 and is_dynamic_policy(
+            getattr(self.dcache, "policy", None)
+        ):
+            driver = _IntervalDriver(self.dcache, self.ledger, self.interval)
+        tick_interval = self.interval if driver is not None else 0
         if self.backend != "reference":
             fast_fetch = FastFetchUnit(trace, self.icache, self.config.core, core_stats)
-            FastCore(self.config.core, fast_fetch, self.dcache, core_stats).run()
+            FastCore(
+                self.config.core, fast_fetch, self.dcache, core_stats,
+                interval=tick_interval, on_tick=driver,
+            ).run()
         else:
             fetch_unit = FetchUnit(trace, self.icache, self.config.core, core_stats)
-            OutOfOrderCore(self.config.core, fetch_unit, self.dcache, core_stats).run()
+            OutOfOrderCore(
+                self.config.core, fetch_unit, self.dcache, core_stats,
+                interval=tick_interval, on_tick=driver,
+            ).run()
 
         # Fast engines accumulate energy locally; publish it before the
         # ledger is read (no-op for the reference engines).
@@ -233,6 +333,17 @@ class Simulator:
                 kinds=dict(stats.access_kinds),
             )
 
+        dynamics = DynamicsMetrics()
+        if driver is not None and driver.ticks > 0:
+            dynamics = DynamicsMetrics(
+                interval=self.interval,
+                ticks=driver.ticks,
+                reconfigurations=driver.reconfigurations,
+                bypass_toggles=driver.bypass_toggles,
+                bypassed_accesses=self.dcache.bypassed_accesses,
+                final_size_bytes=self.dcache.geometry.size_bytes,
+            )
+
         return SimResult(
             benchmark=trace.name,
             config_key=self.config.key(),
@@ -251,4 +362,5 @@ class Simulator:
                 components=energy,
                 processor=dict(report.components),
             ),
+            dynamics=dynamics,
         )

@@ -96,6 +96,7 @@ def design_space_document(
     backend: str = "reference",
     chunks: int = 0,
     chunk_overlap: Optional[int] = None,
+    interval: int = 0,
 ) -> Dict[str, object]:
     """The deterministic JSON document for an executed design-space sweep.
 
@@ -106,7 +107,7 @@ def design_space_document(
     """
     summaries = summarize(
         sweep, points, benchmarks, instructions, component, salt, backend=backend,
-        chunks=chunks, chunk_overlap=chunk_overlap,
+        chunks=chunks, chunk_overlap=chunk_overlap, interval=interval,
     )
     return {
         "sweep": sweep.spec.name,
@@ -117,6 +118,7 @@ def design_space_document(
         "backend": backend,
         "chunks": chunks,
         "chunk_overlap": "full" if chunk_overlap is None else chunk_overlap,
+        "interval": interval,
         "points": [
             {
                 "label": summary.label,
@@ -138,6 +140,7 @@ def design_space_spec(
     backend: str = "reference",
     chunks: int = 0,
     chunk_overlap: Optional[int] = None,
+    interval: int = 0,
 ) -> SweepSpec:
     """Declare the grid covering every point's technique and baseline.
 
@@ -154,7 +157,7 @@ def design_space_spec(
         configs.append(point.technique)
     return SweepSpec.from_grid(
         name, benchmarks, configs, instructions, salts=(salt,), backend=backend,
-        chunks=chunks, chunk_overlap=chunk_overlap,
+        chunks=chunks, chunk_overlap=chunk_overlap, interval=interval,
     )
 
 
@@ -168,6 +171,7 @@ def summarize(
     backend: str = "reference",
     chunks: int = 0,
     chunk_overlap: Optional[int] = None,
+    interval: int = 0,
 ) -> List[PointSummary]:
     """Reduce an executed sweep to per-point mean relative metrics."""
     summaries: List[PointSummary] = []
@@ -177,6 +181,7 @@ def summarize(
             tech, base = sweep.pair(
                 benchmark, point.technique, point.baseline, instructions, salt,
                 backend=backend, chunks=chunks, chunk_overlap=chunk_overlap,
+                interval=interval,
             )
             per_benchmark[benchmark] = {
                 "relative_energy_delay": relative_energy_delay(tech, base, component),

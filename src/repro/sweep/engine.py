@@ -35,7 +35,7 @@ from repro.sweep.result import SweepResult, SweepStats
 from repro.sweep.spec import RunSpec, SweepSpec
 
 #: Payload shipped to worker processes (must stay picklable).
-_Payload = Tuple[str, SystemConfig, int, int, str, str, int, Optional[int]]
+_Payload = Tuple[str, SystemConfig, int, int, str, str, int, Optional[int], int]
 
 
 def _execute_payload(payload: _Payload) -> SimResult:
@@ -47,10 +47,10 @@ def _execute_payload(payload: _Payload) -> SimResult:
     (``trace run --jobs``).
     """
     (benchmark, config, instructions, salt, mode, backend,
-     chunks, chunk_overlap) = payload
+     chunks, chunk_overlap, interval) = payload
     return runner.execute(
         benchmark, config, instructions, salt, mode, backend,
-        chunks, chunk_overlap, chunk_jobs=1,
+        chunks, chunk_overlap, chunk_jobs=1, interval=interval,
     )
 
 
@@ -136,7 +136,7 @@ class SweepEngine:
             cached = (
                 runner.load_cached(
                     run.benchmark, run.config, run.instructions, run.salt, run.mode,
-                    run.backend, run.chunks, run.chunk_overlap,
+                    run.backend, run.chunks, run.chunk_overlap, run.interval,
                 )
                 if self.use_cache
                 else None
@@ -172,6 +172,7 @@ class SweepEngine:
             runner.store_result(
                 run.benchmark, run.config, run.instructions, sim_result,
                 run.salt, run.mode, run.backend, run.chunks, run.chunk_overlap,
+                run.interval,
             )
 
     def _execute(
@@ -193,7 +194,7 @@ class SweepEngine:
         for run in pending:
             sim_result = _execute_payload(
                 (run.benchmark, run.config, run.instructions, run.salt, run.mode,
-                 run.backend, run.chunks, run.chunk_overlap)
+                 run.backend, run.chunks, run.chunk_overlap, run.interval)
             )
             self._store(run, sim_result)
             out.append((run, sim_result))
@@ -245,7 +246,7 @@ class SweepEngine:
         )
         payloads: List[_Payload] = [
             (run.benchmark, run.config, run.instructions, run.salt, run.mode,
-             run.backend, run.chunks, run.chunk_overlap)
+             run.backend, run.chunks, run.chunk_overlap, run.interval)
             for run in ordered
         ]
         # Chunks balance trace locality (same-benchmark specs cluster)

@@ -39,6 +39,9 @@ class RunSpec:
         chunk_overlap: warmup-overlap positions replayed before each
             owned chunk region, or ``None`` for the full prefix
             (exact for any replacement policy).
+        interval: tick period for dynamic policies (accesses in
+            miss-rate mode, cycles in sim mode); ``0`` = no ticks.
+            Incompatible with ``chunks > 0``.
     """
 
     benchmark: str
@@ -49,6 +52,7 @@ class RunSpec:
     backend: str = "reference"
     chunks: int = 0
     chunk_overlap: Optional[int] = None
+    interval: int = 0
 
     def __post_init__(self) -> None:
         if self.mode not in RUN_MODES:
@@ -58,12 +62,13 @@ class RunSpec:
         if self.instructions <= 0:
             raise ValueError(f"instructions must be positive, got {self.instructions}")
         runner._validate_chunking(self.mode, self.chunks, self.chunk_overlap)
+        runner._validate_interval(self.interval, self.chunks)
 
     def key(self) -> str:
         """The backend cache key this spec resolves to."""
         return runner.cache_key(
             self.benchmark, self.config, self.instructions, self.salt, self.mode,
-            self.backend, self.chunks, self.chunk_overlap,
+            self.backend, self.chunks, self.chunk_overlap, self.interval,
         )
 
     def describe(self) -> str:
@@ -74,6 +79,8 @@ class RunSpec:
         if self.chunks > 0:
             overlap = "full" if self.chunk_overlap is None else self.chunk_overlap
             suffix += f" [chunks={self.chunks}/overlap={overlap}]"
+        if self.interval > 0:
+            suffix += f" [interval={self.interval}]"
         return (
             f"{self.benchmark} x {self.config.describe()} "
             f"@ {self.instructions}i/s{self.salt}{suffix}"
@@ -113,12 +120,13 @@ class SweepSpec:
         backend: str = "reference",
         chunks: int = 0,
         chunk_overlap: Optional[int] = None,
+        interval: int = 0,
     ) -> "SweepSpec":
         """Cartesian product benchmarks x configs x salts."""
         runs = tuple(
             RunSpec(
                 benchmark, config, instructions, salt, mode, backend,
-                chunks, chunk_overlap,
+                chunks, chunk_overlap, interval,
             )
             for benchmark in benchmarks
             for config in configs

@@ -437,7 +437,11 @@ class TestTraceCacheLRU:
         monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
         assert runner._trace_cache_capacity() == 1
         monkeypatch.setenv("REPRO_TRACE_CACHE", "junk")
-        assert runner._trace_cache_capacity() == 16
+        with pytest.raises(ValueError, match="REPRO_TRACE_CACHE.*junk"):
+            runner._trace_cache_capacity()
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "-3")
+        with pytest.raises(ValueError, match="REPRO_TRACE_CACHE"):
+            runner._trace_cache_capacity()
 
 
 # ------------------------------------------------------------------ #

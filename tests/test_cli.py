@@ -435,3 +435,109 @@ def test_artifact_counters_on_stderr(trace_file, capsys):
     warm = capsys.readouterr()
     assert "[artifacts: 1 loaded, 0 written]" in warm.err
     assert warm.out == cold.out
+
+
+# ------------------------------------------------------------------ #
+# dynamic policies: --interval, the dynamic experiment, gc orphans
+# ------------------------------------------------------------------ #
+
+
+def test_policies_dynamic_column(capsys):
+    """ASCII and JSON listings mark which kinds take interval ticks."""
+    assert policies_main(["--side", "dcache"]) == 0
+    out = capsys.readouterr().out
+    assert "dynamic" in out and "static" in out
+
+    assert policies_main(["--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    by_kind = {(e["side"], e["kind"]): e["dynamic"] for e in document}
+    assert by_kind[("dcache", "dri")] is True
+    assert by_kind[("dcache", "levelpred")] is True
+    assert by_kind[("dcache", "parallel")] is False
+    assert by_kind[("icache", "waypred")] is False
+
+
+def test_main_rejects_negative_interval(capsys):
+    assert main(["dynamic", "--interval", "-5"]) == 2
+    assert "--interval" in capsys.readouterr().err
+
+
+def test_dynamic_experiment_backends_byte_identical(capsys):
+    """The CI smoke contract: the dynamic experiment's --json report is
+    byte-identical between the reference and fast backends."""
+    assert main(["dynamic", "--interval", "300", "--json",
+                 "--backend", "reference"]) == 0
+    reference = capsys.readouterr().out
+    assert main(["dynamic", "--interval", "300", "--json",
+                 "--backend", "fast"]) == 0
+    fast = capsys.readouterr().out
+    assert reference == fast
+    rows = json.loads(reference)[0]["rows"]
+    assert {row["technique"] for row in rows} == {"static", "dri", "levelpred"}
+    assert any(row["ticks"] > 0 for row in rows)
+
+
+def test_dynamic_experiment_on_sample_traces(monkeypatch, capsys):
+    """The acceptance criterion: the dynamic experiment renders over
+    both committed sample traces (trace:// workloads)."""
+    from pathlib import Path
+
+    data = Path(__file__).resolve().parent / "data"
+    refs = [f"trace://{data / 'sample.din'}#din",
+            f"trace://{data / 'sample.csv.gz'}#csv"]
+    monkeypatch.setenv("REPRO_BENCHMARKS", ",".join(refs))
+    assert main(["dynamic", "--interval", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "static vs adaptive" in out
+    for ref in refs:
+        assert ref in out
+
+
+def test_trace_run_interval_sim_mode(trace_file, capsys):
+    """--interval ticks a dynamic policy through 'trace run'."""
+    assert main(["trace", "run", str(trace_file), "--dcache-policy", "dri",
+                 "--interval", "40", "--json", "--no-cache"]) == 0
+    flat = json.loads(capsys.readouterr().out)
+    assert flat.get("dynamics_ticks", 0) > 0
+    assert flat["dynamics_interval"] == 40
+
+
+def test_trace_run_interval_rejects_chunks(trace_file, capsys):
+    assert main(["trace", "run", str(trace_file), "--mode", "missrate",
+                 "--chunks", "2", "--interval", "40"]) == 2
+    assert "incompatible" in capsys.readouterr().err
+
+
+def test_sweep_interval_flag_accepted(capsys):
+    """--interval rides the design-space sweep (static grid: inert but
+    cache-key-distinct)."""
+    assert sweep_main(TINY_SWEEP + ["--interval", "64", "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["interval"] == 64
+
+
+def test_cache_gc_prunes_orphaned_chunk_sidecars(tmp_path, monkeypatch, capsys):
+    """A {key}.chunk.json whose result file is gone is pruned by gc even
+    when younger than the cutoff; paired sidecars survive."""
+    cache = tmp_path / "cache"
+    cache.mkdir()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+    (cache / "paired.json").write_text("{}")
+    (cache / "paired.chunk.json").write_text("{}")
+    (cache / "orphan.chunk.json").write_text("{}")
+    assert main(["cache", "gc", "--older-than", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1 entries" in out
+    assert not (cache / "orphan.chunk.json").exists()
+    assert (cache / "paired.chunk.json").exists()
+    assert (cache / "paired.json").exists()
+
+
+def test_repro_interval_env(monkeypatch):
+    from repro.experiments.common import settings_from_env
+
+    monkeypatch.setenv("REPRO_INTERVAL", "777")
+    assert settings_from_env().interval == 777
+    monkeypatch.setenv("REPRO_INTERVAL", "junk")
+    with pytest.raises(ValueError, match="REPRO_INTERVAL"):
+        settings_from_env()

@@ -29,10 +29,10 @@ SMALL = ExperimentSettings(instructions=6_000, benchmarks=("gcc", "swim"))
 
 
 class TestRegistry:
-    def test_all_thirteen_registered(self):
+    def test_all_fourteen_registered(self):
         ids = list_experiments()
-        assert len(ids) == 13
-        for expected in ("table3", "table4", "table5", "fig4", "fig11"):
+        assert len(ids) == 14
+        for expected in ("table3", "table4", "table5", "fig4", "fig11", "dynamic"):
             assert expected in ids
 
     def test_list_returns_string_list(self):

@@ -46,6 +46,7 @@ class TestRegistryQueries:
         assert policy_kinds("dcache") == (
             "parallel", "sequential", "waypred_pc", "waypred_xor", "oracle",
             "seldm_parallel", "seldm_waypred", "seldm_sequential",
+            "dri", "levelpred",
         )
         assert policy_kinds("icache") == ("parallel", "waypred")
 

@@ -554,3 +554,85 @@ class TestExecuteJob:
         assert warm.text == cold.text
         assert warm.cache_hits == 2
         assert all(e.cache_hit for e in events)
+
+
+# ------------------------------------------------------------------ #
+# Dynamic policies: the interval field and the dynamic experiment
+# ------------------------------------------------------------------ #
+
+
+class TestIntervalProtocol:
+    def test_interval_defaults_to_zero(self):
+        assert parse_job_request({"kind": "sweep", "benchmarks": ["gcc"]}).interval == 0
+        assert parse_job_request(
+            {"kind": "experiment", "experiments": ["table4"]}
+        ).interval == 0
+
+    def test_interval_parses_on_both_kinds(self):
+        sweep = parse_job_request(
+            {"kind": "sweep", "benchmarks": ["gcc"], "interval": 128})
+        assert sweep.interval == 128
+        experiment = parse_job_request(
+            {"kind": "experiment", "experiments": ["dynamic"], "interval": 128})
+        assert experiment.interval == 128
+
+    def test_interval_rejects_negative_and_non_int(self):
+        for bad in (-1, True, "128"):
+            with pytest.raises(ProtocolError, match="interval"):
+                parse_job_request(
+                    {"kind": "sweep", "benchmarks": ["gcc"], "interval": bad})
+
+    def test_interval_rejects_chunked_sweeps(self):
+        with pytest.raises(ProtocolError, match="incompatible"):
+            parse_job_request(
+                {"kind": "sweep", "benchmarks": ["gcc"], "interval": 8,
+                 "chunks": 2, "chunk_overlap": 0})
+
+    def test_interval_shapes_the_fingerprint(self):
+        base = parse_job_request({"kind": "sweep", "benchmarks": ["gcc"]})
+        ticked = parse_job_request(
+            {"kind": "sweep", "benchmarks": ["gcc"], "interval": 64})
+        assert canonical_payload(ticked)["interval"] == 64
+        assert fingerprint(base) != fingerprint(ticked)
+
+    def test_dynamic_experiment_admits_trace_refs(self, tmp_path):
+        path = tmp_path / "t.csv.gz"
+        write_trace(path, generate_trace("gcc", 100))
+        ref = f"trace://{path}#csv"
+        spec = parse_job_request(
+            {"kind": "experiment", "experiments": ["dynamic"],
+             "benchmarks": [ref], "interval": 50})
+        assert spec.benchmarks == (ref,)
+        # Profile-table experiments still reject file-backed workloads.
+        with pytest.raises(ProtocolError, match="unknown benchmark"):
+            parse_job_request(
+                {"kind": "experiment", "experiments": ["table4", "dynamic"],
+                 "benchmarks": [ref]})
+
+
+class TestDynamicExperimentJob:
+    def test_report_matches_cli_bytes_on_sample_traces(self, isolated_cache):
+        """The acceptance criterion: the dynamic experiment over both
+        committed sample traces produces byte-identical reports via the
+        service and the CLI."""
+        data = Path(__file__).resolve().parent / "data"
+        refs = [f"trace://{data / 'sample.din'}#din",
+                f"trace://{data / 'sample.csv.gz'}#csv"]
+        spec = parse_job_request(
+            {"kind": "experiment", "experiments": ["dynamic"],
+             "benchmarks": refs, "instructions": 6_000, "interval": 300})
+        outcome = execute_job(spec)
+        process = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "dynamic",
+             "--interval", "300", "--json"],
+            capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parent.parent,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin",
+                 "REPRO_CACHE_DIR": str(isolated_cache),
+                 "REPRO_SCALE": "0.1",
+                 "REPRO_BENCHMARKS": ",".join(refs)},
+        )
+        assert process.returncode == 0, process.stderr
+        assert outcome.text + "\n" == process.stdout
+        rows = json.loads(outcome.text)[0]["rows"]
+        assert any(row["ticks"] > 0 for row in rows)

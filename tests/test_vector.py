@@ -229,10 +229,9 @@ class TestVectorMissRate:
         encoded = encode_trace(trace)
         blocks = encoded.blocks_np(geometry.fields)
         warmup = int(blocks.shape[0] * 0.2)
-        counts = vector_module._plru(
-            blocks, encoded.is_load_np(), geometry.num_sets, 4, warmup
-        )
-        assert counts is not None, "rounds kernel unexpectedly hit the skew guard"
+        hits = vector_module._plru(blocks, geometry.num_sets, 4)
+        assert hits is not None, "rounds kernel unexpectedly hit the skew guard"
+        counts = vector_module._tally(hits, encoded.is_load_np(), warmup)
         reference = measure_miss_rate(trace, geometry, "plru", 0.2)
         assert counts == (
             reference.accesses,
@@ -247,10 +246,8 @@ class TestVectorMissRate:
         geometry = CacheGeometry(32 * 1024, 4, 32)  # 256 sets, one used
         encoded = encode_trace(trace)
         blocks = encoded.blocks_np(geometry.fields)
-        counts = vector_module._plru(
-            blocks, encoded.is_load_np(), geometry.num_sets, 4, 0
-        )
-        assert counts is None  # guard tripped: rounds of width one
+        hits = vector_module._plru(blocks, geometry.num_sets, 4)
+        assert hits is None  # guard tripped: rounds of width one
         reference = measure_miss_rate(trace, geometry, "plru", 0.2)
         assert vector_miss_rate(trace, geometry, "plru", 0.2) == reference
 
